@@ -1,0 +1,96 @@
+// Command ctcpasm assembles, disassembles and functionally runs TRISC-64
+// programs.
+//
+// Usage:
+//
+//	ctcpasm prog.s                 # assemble, report sizes
+//	ctcpasm -o prog.tro prog.s     # assemble to an object file
+//	ctcpasm -d prog.tro            # disassemble an object file
+//	ctcpasm -run prog.s            # assemble and execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctcp/internal/asm"
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write the assembled object to this file")
+		dis    = flag.Bool("d", false, "disassemble an object file instead of assembling")
+		run    = flag.Bool("run", false, "execute the program functionally after assembling")
+		budget = flag.Uint64("insts", 10_000_000, "instruction budget for -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ctcpasm [-o out.tro] [-d] [-run] file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	var p *isa.Program
+	if *dis || strings.HasSuffix(path, ".tro") {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		p, err = isa.LoadProgram(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *dis {
+			fmt.Print(asm.Disassemble(p))
+			return
+		}
+	} else {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("text %d instructions, data %d bytes, entry %#x\n",
+		len(p.Text), len(p.Data), p.Entry)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *run {
+		m := emu.New(p)
+		n, err := m.Run(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions, halted=%v\n", n, m.Halted())
+		if len(m.OutValues) > 0 {
+			fmt.Printf("out values: %v (checksum %#x)\n", m.OutValues, m.OutHash)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctcpasm:", err)
+	os.Exit(1)
+}

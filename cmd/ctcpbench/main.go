@@ -1,0 +1,80 @@
+// Command ctcpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ctcpbench                      # everything, default budget
+//	ctcpbench -exp fig6,table8     # selected artifacts
+//	ctcpbench -insts 500000        # bigger per-run budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ctcp/internal/experiment"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
+		insts = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
+		par   = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	r := experiment.NewRunner(experiment.Options{Budget: *insts, Parallelism: *par})
+	all := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", func() string { return experiment.Table1(r).Render() }},
+		{"fig4", func() string { return experiment.Figure4(r).Render() }},
+		{"table2", func() string { return experiment.Table2(r).Render() }},
+		{"fig5", func() string { return experiment.Figure5(r).Render() }},
+		{"table3", func() string { return experiment.Table3(r).Render() }},
+		{"fig6", func() string { return experiment.Figure6(r).Render() }},
+		{"table8", func() string { return experiment.Table8(r).Render() }},
+		{"fig7", func() string { return experiment.Figure7(r).Render() }},
+		{"table9", func() string { return experiment.Table9(r).Render() }},
+		{"table10", func() string { return experiment.Table10(r).Render() }},
+		{"fig8", func() string { return experiment.Figure8(r).Render() }},
+		{"ablation", func() string { return experiment.Ablation(r).Render() }},
+		{"sweeps", func() string {
+			return experiment.SweepTraceCache(r).Render() + "\n" +
+				experiment.SweepROB(r).Render() + "\n" +
+				experiment.SweepHopLatency(r).Render()
+		}},
+		{"fig9", func() string { return experiment.Figure9(r).Render() }},
+	}
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, e := range all {
+			want[e.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	fmt.Printf("ctcpbench: budget %d instructions per run\n\n", *insts)
+	ran := 0
+	for _, e := range all {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		out := e.run()
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "ctcpbench: no matching experiments (see -exp)")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command ctcpsim runs one benchmark through the clustered trace cache
+// processor model and prints a statistics summary.
+//
+// Usage:
+//
+//	ctcpsim -list
+//	ctcpsim -bench gzip -strategy fdrt -insts 500000
+//	ctcpsim -bench twolf -strategy issue-time -steer 4 -topology ring -hop 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctcp/internal/cluster"
+	"ctcp/internal/core"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		bench    = flag.String("bench", "gzip", "benchmark name")
+		strategy = flag.String("strategy", "base", "assignment strategy: base, issue-time, friendly, friendly-middle, fdrt, fdrt-nopin")
+		steer    = flag.Int("steer", 4, "issue-time steering latency in cycles (issue-time only)")
+		insts    = flag.Uint64("insts", 300_000, "committed instruction budget")
+		topology = flag.String("topology", "chain", "inter-cluster interconnect: chain or ring")
+		hop      = flag.Int("hop", 2, "inter-cluster forwarding latency per hop")
+		clusters = flag.Int("clusters", 4, "number of clusters")
+		ptrace   = flag.Int("pipetrace", 0, "print a per-cycle occupancy trace of the first N active cycles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU2000 integer analogs:")
+		for _, bm := range workload.SPECint() {
+			sel := " "
+			if bm.Selected {
+				sel = "*"
+			}
+			fmt.Printf("  %s %-10s %s\n", sel, bm.Name, bm.Description)
+		}
+		fmt.Println("MediaBench analogs:")
+		for _, bm := range workload.MediaBench() {
+			fmt.Printf("    %-10s %s\n", bm.Name, bm.Description)
+		}
+		fmt.Println("(* = the six forwarding-sensitive benchmarks the paper selects)")
+		return
+	}
+
+	bm, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ctcpsim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+
+	kinds := map[string]core.StrategyKind{
+		"base": core.Base, "issue-time": core.IssueTime, "friendly": core.Friendly,
+		"friendly-middle": core.FriendlyMiddle, "fdrt": core.FDRT, "fdrt-nopin": core.FDRTNoPin,
+	}
+	kind, ok := kinds[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ctcpsim: unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+
+	cfg := pipeline.DefaultConfig().WithStrategy(kind, *steer == 0)
+	if kind.SteersAtIssue() {
+		cfg.SteerStages = *steer
+	}
+	switch *topology {
+	case "chain":
+		cfg.Geom.Topology = cluster.Chain
+	case "ring":
+		cfg.Geom.Topology = cluster.Ring
+	default:
+		fmt.Fprintf(os.Stderr, "ctcpsim: unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+	cfg.Geom.HopLat = *hop
+	cfg.Geom.Clusters = *clusters
+	cfg.MaxInsts = *insts
+
+	fmt.Printf("benchmark  %s (%s)\n", bm.Name, bm.Description)
+	fmt.Printf("strategy   %v  topology=%v hop=%d clusters=%d budget=%d\n",
+		kind, cfg.Geom.Topology, cfg.Geom.HopLat, cfg.Geom.Clusters, *insts)
+
+	cfg.TraceCycles = *ptrace
+	s := pipeline.RunProgram(bm.ProgramFor(*insts), cfg)
+
+	for _, line := range s.PipeTrace {
+		fmt.Println(line)
+	}
+
+	fmt.Printf("\ncycles               %d\n", s.Cycles)
+	fmt.Printf("retired              %d (IPC %.3f)\n", s.Retired, s.IPC())
+	fmt.Printf("from trace cache     %.1f%%  (avg trace size %.1f, TC hit rate %.1f%%)\n",
+		100*s.PctFromTC(), s.AvgTraceSize(), 100*s.TC.HitRate())
+	fmt.Printf("cond branches        %d (mispredict %.2f%%)\n", s.CondBranches, 100*s.MispredictRate())
+	fmt.Printf("indirect mispredicts %d\n", s.IndirectMiss)
+	fmt.Printf("loads/stores         %d/%d (store->load forwards %d)\n", s.Loads, s.Stores, s.StoreForwards)
+	fmt.Printf("critical inputs      %.1f%% forwarded, %.1f%% of those inter-trace\n",
+		100*s.CritFwdFrac(), 100*s.CritInterTraceFrac())
+	fmt.Printf("forwarding locality  %.1f%% intra-cluster, mean distance %.3f hops\n",
+		100*s.IntraClusterFrac(), s.AvgFwdDistance())
+	if kind.UsesChains() {
+		fmt.Printf("cluster chains       %d leaders, %d followers; migration %.2f%% (chain %.2f%%)\n",
+			s.Fill.LeadersCreated, s.Fill.FollowersCreated,
+			100*s.Fill.MigrationRate(), 100*s.Fill.ChainMigrationRate())
+		fmt.Printf("fdrt options         A=%d B=%d C=%d D=%d E=%d skipped=%d\n",
+			s.Fill.OptionA, s.Fill.OptionB, s.Fill.OptionC, s.Fill.OptionD, s.Fill.OptionE, s.Fill.Skipped)
+	}
+}

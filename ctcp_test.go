@@ -1,0 +1,85 @@
+package ctcp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeAssembleAndRun(t *testing.T) {
+	p, err := Assemble(`
+        movi r1, 6
+        movi r2, 7
+        mul  r1, r2, r3
+        out  r3
+        halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.OutValues) != 1 || m.OutValues[0] != 42 {
+		t.Fatalf("out = %v", m.OutValues)
+	}
+	if dis := Disassemble(p); !strings.Contains(dis, "mul r1, r2, r3") {
+		t.Error("disassembly missing instruction")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(SPECint()) != 12 || len(MediaBench()) != 14 || len(AllBenchmarks()) != 26 {
+		t.Error("suite sizes wrong")
+	}
+	if len(SelectedBenchmarks()) != 6 {
+		t.Error("selected size wrong")
+	}
+	if _, ok := BenchmarkByName("twolf"); !ok {
+		t.Error("BenchmarkByName failed")
+	}
+}
+
+func TestFacadeRunBenchmark(t *testing.T) {
+	bm, _ := BenchmarkByName("gzip")
+	s := Run(bm, DefaultConfig().WithStrategy(FDRT, false), 20_000)
+	if s.Retired != 20_000 {
+		t.Errorf("retired %d", s.Retired)
+	}
+	if s.IPC() <= 0 {
+		t.Error("no progress")
+	}
+}
+
+func TestFacadeProgramBuilder(t *testing.T) {
+	b := NewProgramBuilder()
+	b.Movi(2, 5) // r2 = 5
+	b.Out(2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.OutValues[0] != 5 {
+		t.Errorf("out = %v", m.OutValues)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	e := NewExperiments(15_000)
+	out := e.Table1().Render()
+	if !strings.Contains(out, "Trace Cache Characteristics") {
+		t.Error("experiment render missing title")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for _, s := range []Strategy{Base, IssueTime, Friendly, FriendlyMiddle, FDRT, FDRTNoPin} {
+		if s.String() == "unknown" {
+			t.Errorf("strategy %d unnamed", s)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// interconnect studies how the inter-cluster network shapes the value of
+// retire-time cluster assignment: the chain baseline, the ring ("mesh")
+// variant, and a one-cycle-hop network, as in the paper's Figure 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ctcp"
+	"ctcp/internal/cluster"
+)
+
+func main() {
+	bench := flag.String("bench", "vpr", "benchmark name")
+	insts := flag.Uint64("insts", 200_000, "instruction budget")
+	flag.Parse()
+
+	bm, ok := ctcp.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	fmt.Printf("%s under three interconnects (speedups relative to each network's own base)\n\n", bm.Name)
+
+	variants := []struct {
+		name string
+		mod  func(*ctcp.Config)
+	}{
+		{"chain, 2-cycle hops (paper base)", func(c *ctcp.Config) {}},
+		{"ring ('mesh'), 2-cycle hops", func(c *ctcp.Config) { c.Geom.Topology = cluster.Ring }},
+		{"chain, 1-cycle hops", func(c *ctcp.Config) { c.Geom.HopLat = 1 }},
+	}
+	for _, v := range variants {
+		base := ctcp.DefaultConfig()
+		v.mod(&base)
+		b := ctcp.Run(bm, base, *insts)
+		fmt.Printf("%s:\n", v.name)
+		fmt.Printf("  base        %8d cycles (IPC %.3f, mean fwd distance %.3f)\n",
+			b.Cycles, b.IPC(), b.AvgFwdDistance())
+		for _, strat := range []ctcp.Strategy{ctcp.Friendly, ctcp.FDRT, ctcp.IssueTime} {
+			cfg := base.WithStrategy(strat, false)
+			s := ctcp.Run(bm, cfg, *insts)
+			fmt.Printf("  %-10v  %8d cycles  speedup %.3f\n", strat, s.Cycles,
+				float64(b.Cycles)/float64(s.Cycles))
+		}
+		fmt.Println()
+	}
+}

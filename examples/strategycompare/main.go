@@ -1,0 +1,50 @@
+// strategycompare runs one benchmark of the synthetic suite under every
+// cluster assignment strategy the paper evaluates and prints the speedups
+// over the slot-based baseline — a one-benchmark slice of Figure 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ctcp"
+)
+
+func main() {
+	bench := flag.String("bench", "twolf", "benchmark name (see cmd/ctcpsim -list)")
+	insts := flag.Uint64("insts", 200_000, "instruction budget")
+	flag.Parse()
+
+	bm, ok := ctcp.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	fmt.Printf("%s: %s\n\n", bm.Name, bm.Description)
+
+	base := ctcp.Run(bm, ctcp.DefaultConfig(), *insts)
+	fmt.Printf("baseline: %d cycles, IPC %.3f, %.1f%% TC instructions, mispredict %.2f%%\n\n",
+		base.Cycles, base.IPC(), 100*base.PctFromTC(), 100*base.MispredictRate())
+
+	type entry struct {
+		name  string
+		strat ctcp.Strategy
+		ideal bool
+	}
+	rows := []entry{
+		{"friendly (retire-time, intra-trace)", ctcp.Friendly, false},
+		{"friendly-middle", ctcp.FriendlyMiddle, false},
+		{"fdrt (paper: pinned chains)", ctcp.FDRT, false},
+		{"fdrt-nopin (adaptive chains)", ctcp.FDRTNoPin, false},
+		{"issue-time, 4-cycle steering", ctcp.IssueTime, false},
+		{"issue-time, ideal latency", ctcp.IssueTime, true},
+	}
+	fmt.Println("strategy                              speedup  intra-fwd  distance")
+	for _, e := range rows {
+		cfg := ctcp.DefaultConfig().WithStrategy(e.strat, e.ideal)
+		s := ctcp.Run(bm, cfg, *insts)
+		fmt.Printf("%-36s  %6.3f   %6.1f%%   %7.3f\n", e.name,
+			float64(base.Cycles)/float64(s.Cycles),
+			100*s.IntraClusterFrac(), s.AvgFwdDistance())
+	}
+}

@@ -1,0 +1,3 @@
+module ctcp
+
+go 1.22

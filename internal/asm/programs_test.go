@@ -1,0 +1,123 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/pipeline"
+)
+
+// The testdata programs are complete hand-written assembly programs; each is
+// assembled, executed functionally, checked against a host-computed
+// reference, and then replayed through the timing pipeline as an
+// integration smoke test.
+
+func loadTestdata(t *testing.T, name string) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func hostFib(n int) uint64 {
+	if n <= 1 {
+		return uint64(n)
+	}
+	a, b := uint64(0), uint64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func TestFibProgram(t *testing.T) {
+	p := mustAssemble(t, loadTestdata(t, "fib.s"))
+	m := emu.New(p)
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if want := hostFib(18); m.OutValues[0] != want {
+		t.Errorf("fib(18) = %d, want %d", m.OutValues[0], want)
+	}
+}
+
+func hostSieve(n int) uint64 {
+	flags := make([]bool, n)
+	count := uint64(0)
+	for p := 2; p < n; p++ {
+		if flags[p] {
+			continue
+		}
+		count++
+		for m := 2 * p; m < n; m += p {
+			flags[m] = true
+		}
+	}
+	return count
+}
+
+func TestSieveProgram(t *testing.T) {
+	p := mustAssemble(t, loadTestdata(t, "sieve.s"))
+	m := emu.New(p)
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if want := hostSieve(4096); m.OutValues[0] != want {
+		t.Errorf("sieve count = %d, want %d", m.OutValues[0], want)
+	}
+}
+
+func TestChecksumProgram(t *testing.T) {
+	p := mustAssemble(t, loadTestdata(t, "checksum.s"))
+	m := emu.New(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Host reference of the same algorithm.
+	h := uint64(0)
+	for _, c := range []byte("the quick brown fox jumps over the lazy dog") {
+		h = (h*33 + uint64(c)) & 0xFFFFFFFF
+	}
+	root := uint64(isqrt(float64(h)))
+	want := h ^ root
+	if m.OutValues[0] != want {
+		t.Errorf("checksum = %#x, want %#x", m.OutValues[0], want)
+	}
+}
+
+func isqrt(x float64) int64 {
+	lo, hi := int64(0), int64(1<<26)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if float64(mid)*float64(mid) <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	// Match IEEE sqrt truncation.
+	for float64(lo+1)*float64(lo+1) <= x {
+		lo++
+	}
+	return lo
+}
+
+func TestTestdataProgramsThroughPipeline(t *testing.T) {
+	for _, name := range []string{"fib.s", "sieve.s", "checksum.s"} {
+		p := mustAssemble(t, loadTestdata(t, name))
+		s := pipeline.RunProgram(p, pipeline.DefaultConfig())
+		if s.Retired == 0 || s.Cycles == 0 {
+			t.Errorf("%s: pipeline made no progress", name)
+		}
+		if s.IPC() <= 0 || s.IPC() > 16 {
+			t.Errorf("%s: IPC %.2f implausible", name, s.IPC())
+		}
+	}
+}

@@ -1,0 +1,28 @@
+; Rolling checksum over a string: byte loads, shifts, mixed FP average.
+; OUTs the final 32-bit checksum of the message.
+        .entry main
+main:   movi    r1, msg
+        movi    r2, msgend
+        movi    r3, 0           ; checksum
+loop:   cmpult  r1, r2, r4
+        beq     r4, finish
+        ldbu    r5, 0(r1)
+        sll     r3, 5, r6
+        add     r6, r3, r6      ; h*33
+        add     r6, r5, r3
+        movi    r7, 0xFFFFFFFF
+        and     r3, r7, r3
+        add     r1, 1, r1
+        br      loop
+finish:
+        ; fold through FP: sqrt(h) truncated back, xor-ed in
+        cvtqt   r3, f1
+        sqrtt   f1, f2
+        cvttq   f2, r8
+        xor     r3, r8, r3
+        out     r3
+        halt
+
+        .data
+msg:    .ascii  "the quick brown fox jumps over the lazy dog"
+msgend:

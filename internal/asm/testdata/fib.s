@@ -1,0 +1,32 @@
+; Recursive Fibonacci: exercises the stack, calls and returns.
+; Computes fib(18) = 2584 and OUTs it.
+        .entry main
+
+fib:    ; r1 = n, result in r2, clobbers r3; uses the stack for ra/r1
+        cmple   r1, 1, r3
+        beq     r3, recurse
+        mov     r2, r1          ; fib(0)=0, fib(1)=1
+        ret
+recurse:
+        sub     sp, 24, sp
+        stq     ra, 0(sp)
+        stq     r1, 8(sp)
+        sub     r1, 1, r1
+        movi    r9, fib
+        jsr     ra, (r9)
+        stq     r2, 16(sp)      ; fib(n-1)
+        ldq     r1, 8(sp)
+        sub     r1, 2, r1
+        movi    r9, fib
+        jsr     ra, (r9)
+        ldq     r3, 16(sp)
+        add     r2, r3, r2      ; fib(n-1) + fib(n-2)
+        ldq     ra, 0(sp)
+        add     sp, 24, sp
+        ret
+
+main:   movi    r1, 18
+        movi    r9, fib
+        jsr     ra, (r9)
+        out     r2
+        halt

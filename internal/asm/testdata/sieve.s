@@ -1,0 +1,38 @@
+; Sieve of Eratosthenes over 1..4095: byte flags in memory, nested loops.
+; OUTs the number of primes found (563).
+        .entry main
+main:   movi    r1, flags       ; flag array
+        movi    r2, 2           ; candidate
+outer:  movi    r3, 4096
+        cmplt   r2, r3, r4
+        beq     r4, count
+        add     r1, r2, r5
+        ldbu    r6, 0(r5)
+        bne     r6, nextc       ; already composite
+        ; mark multiples 2p, 3p, ...
+        add     r2, r2, r7      ; m = 2p
+inner:  cmplt   r7, r3, r4
+        beq     r4, nextc
+        add     r1, r7, r5
+        movi    r6, 1
+        stb     r6, 0(r5)
+        add     r7, r2, r7
+        br      inner
+nextc:  add     r2, 1, r2
+        br      outer
+
+count:  movi    r2, 2
+        movi    r8, 0           ; prime count
+cloop:  cmplt   r2, r3, r4
+        beq     r4, done
+        add     r1, r2, r5
+        ldbu    r6, 0(r5)
+        bne     r6, notp
+        add     r8, 1, r8
+notp:   add     r2, 1, r2
+        br      cloop
+done:   out     r8
+        halt
+
+        .data
+flags:  .space  4096

@@ -1,0 +1,172 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenLoopConverges(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x1000)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if _, correct := p.PredictAndTrainCond(pc, true); !correct {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", wrong)
+	}
+}
+
+func TestAlternatingPatternLearnedByGshare(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x2000)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if _, correct := p.PredictAndTrainCond(pc, taken); !correct && i > 200 {
+			wrong++
+		}
+	}
+	// gshare sees the alternation in the history register and should lock on.
+	if wrong > 10 {
+		t.Errorf("alternating branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestCorrelatedBranchesLearned(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome: pure history
+	// correlation that bimodal cannot capture.
+	p := New(Default())
+	r := rand.New(rand.NewSource(42))
+	pcA, pcB := uint64(0x3000), uint64(0x3040)
+	wrongB := 0
+	for i := 0; i < 4000; i++ {
+		a := r.Intn(2) == 0
+		p.PredictAndTrainCond(pcA, a)
+		if _, correct := p.PredictAndTrainCond(pcB, a); !correct && i > 1000 {
+			wrongB++
+		}
+	}
+	if acc := 1 - float64(wrongB)/3000; acc < 0.95 {
+		t.Errorf("correlated branch accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestRandomBranchAccuracyNearHalf(t *testing.T) {
+	p := New(Default())
+	r := rand.New(rand.NewSource(1))
+	pc := uint64(0x4000)
+	for i := 0; i < 5000; i++ {
+		p.PredictAndTrainCond(pc, r.Intn(2) == 0)
+	}
+	acc := p.S.CondAccuracy()
+	if acc < 0.35 || acc > 0.7 {
+		t.Errorf("random branch accuracy %.3f, expected near 0.5", acc)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	p := New(Default())
+	p.PredictAndTrainCond(0x100, true)
+	p.PredictAndTrainCond(0x100, true)
+	if p.S.CondBranches != 2 {
+		t.Errorf("CondBranches = %d", p.S.CondBranches)
+	}
+	if p.S.CondAccuracy() < 0 || p.S.CondAccuracy() > 1 {
+		t.Error("accuracy out of range")
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	p := New(Default())
+	if _, hit := p.BTBLookup(0x1000); hit {
+		t.Error("cold BTB hit")
+	}
+	p.BTBInsert(0x1000, 0x2000)
+	if tgt, hit := p.BTBLookup(0x1000); !hit || tgt != 0x2000 {
+		t.Errorf("BTB lookup = %#x,%v", tgt, hit)
+	}
+	// Update in place.
+	p.BTBInsert(0x1000, 0x3000)
+	if tgt, _ := p.BTBLookup(0x1000); tgt != 0x3000 {
+		t.Errorf("BTB update failed: %#x", tgt)
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	cfg := Default()
+	cfg.BTBEntries = 8
+	cfg.BTBWays = 2 // 4 sets
+	p := New(cfg)
+	// Three branches in the same set (stride = sets*4 bytes = 16).
+	p.BTBInsert(0x1000, 1)
+	p.BTBInsert(0x1010, 2)
+	p.BTBLookup(0x1000) // refresh
+	p.BTBInsert(0x1020, 3)
+	if _, hit := p.BTBLookup(0x1010); hit {
+		t.Error("LRU BTB entry survived")
+	}
+	if _, hit := p.BTBLookup(0x1000); !hit {
+		t.Error("MRU BTB entry evicted")
+	}
+}
+
+func TestRASMatchesCallStack(t *testing.T) {
+	p := New(Default())
+	p.PushReturn(0x100)
+	p.PushReturn(0x200)
+	if a, ok := p.PredictReturn(); !ok || a != 0x200 {
+		t.Errorf("first pop = %#x,%v", a, ok)
+	}
+	if a, ok := p.PredictReturn(); !ok || a != 0x100 {
+		t.Errorf("second pop = %#x,%v", a, ok)
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("empty RAS returned a prediction")
+	}
+}
+
+func TestRASWrapsAtCapacity(t *testing.T) {
+	cfg := Default()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	for i := 1; i <= 6; i++ {
+		p.PushReturn(uint64(i * 0x10))
+	}
+	// Deepest two entries were overwritten; the newest four remain.
+	for want := 6; want >= 3; want-- {
+		if a, ok := p.PredictReturn(); !ok || a != uint64(want*0x10) {
+			t.Fatalf("pop = %#x,%v; want %#x", a, ok, want*0x10)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Default())
+	p.PredictAndTrainCond(0x100, true)
+	p.BTBInsert(0x100, 0x200)
+	p.PushReturn(0x300)
+	p.Reset()
+	if p.S.CondBranches != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if _, hit := p.BTBLookup(0x100); hit {
+		t.Error("Reset did not clear BTB")
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("Reset did not clear RAS")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cfg := Default()
+	cfg.BimodalEntries = 1000 // not a power of two
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted bad config")
+		}
+	}()
+	New(cfg)
+}

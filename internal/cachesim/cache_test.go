@@ -1,0 +1,191 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 2, LineSize: 64})
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1038) { // same line
+		t.Error("same-line access missed")
+	}
+	if c.S.Accesses != 3 || c.S.Misses != 1 {
+		t.Errorf("stats = %+v", c.S)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set x 2 ways: three distinct lines mapping to the same set.
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, LineSize: 64})
+	a, b, d := uint64(0x0), uint64(0x40), uint64(0x80)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a was evicted (should be MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b survived (should be LRU victim)")
+	}
+	if !c.Probe(d) {
+		t.Error("d not filled")
+	}
+}
+
+func TestProbeDoesNotFill(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 1, LineSize: 64})
+	if c.Probe(0x123) {
+		t.Error("probe hit cold cache")
+	}
+	if c.Probe(0x123) {
+		t.Error("probe filled the cache")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 2, LineSize: 64})
+	c.Access(0x1000)
+	c.Invalidate(0x1000)
+	if c.Probe(0x1000) {
+		t.Error("line survived invalidate")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Sets: 3, Ways: 1, LineSize: 64},
+		{Sets: 4, Ways: 0, LineSize: 64},
+		{Sets: 4, Ways: 1, LineSize: 48},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := New(Config{Name: "L1D", Sets: 128, Ways: 4, LineSize: 64})
+	if c.SizeBytes() != 32*KB {
+		t.Errorf("size = %d, want 32KB", c.SizeBytes())
+	}
+}
+
+// Property: after accessing a working set no larger than one way's worth per
+// set, every line still hits (no conflict evictions with true LRU).
+func TestNoEvictionWithinCapacityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "q", Sets: 8, Ways: 4, LineSize: 64})
+		// 8 sets * 4 ways: pick exactly 4 lines per set.
+		var lines []uint64
+		for set := 0; set < 8; set++ {
+			for w := 0; w < 4; w++ {
+				tag := uint64(r.Intn(1000)*8 + set) // unique tag per way below
+				lines = append(lines, (tag*8+uint64(set))<<6)
+			}
+		}
+		// Dedup by regenerating deterministic distinct tags instead.
+		lines = lines[:0]
+		for set := 0; set < 8; set++ {
+			for w := 0; w < 4; w++ {
+				lines = append(lines, (uint64(w*8)<<6)*8+(uint64(set)<<6))
+			}
+		}
+		for _, l := range lines {
+			c.Access(l)
+		}
+		for _, l := range lines {
+			if !c.Probe(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	// Cold access: TLB miss + L1 miss + L2 miss.
+	done := h.Access(0, 0x10000)
+	wantCold := int64(cfg.TLBHitLat + cfg.TLBMissLat + cfg.L1HitLat + cfg.L2Lat + cfg.MemLat)
+	if done != wantCold {
+		t.Errorf("cold access done=%d, want %d", done, wantCold)
+	}
+	// Re-access after the fill: everything hits.
+	done2 := h.Access(done, 0x10000)
+	if done2 != done+int64(cfg.TLBHitLat+cfg.L1HitLat) {
+		t.Errorf("warm access done=%d, want %d", done2, done+int64(cfg.TLBHitLat+cfg.L1HitLat))
+	}
+	if h.L1Misses != 1 || h.TLBMisses != 1 || h.L2Misses != 1 {
+		t.Errorf("miss counters: %d %d %d", h.L1Misses, h.TLBMisses, h.L2Misses)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	d1 := h.Access(0, 0x20000)
+	// Second access to the same line while the miss is outstanding merges.
+	d2 := h.Access(1, 0x20008)
+	if d2 > d1 {
+		t.Errorf("merged access finished at %d, after the fill %d", d2, d1)
+	}
+	if h.MSHRMerges != 1 {
+		t.Errorf("merges = %d, want 1", h.MSHRMerges)
+	}
+}
+
+func TestHierarchyMSHRFullBackpressure(t *testing.T) {
+	cfg := DefaultHierarchy()
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	d1 := h.Access(0, 0x100000)
+	h.Access(0, 0x200000)
+	// Third distinct-line miss at cycle 0 must wait for an MSHR.
+	d3 := h.Access(0, 0x300000)
+	if d3 <= d1 {
+		t.Errorf("MSHR-full miss done=%d, expected after first fill %d", d3, d1)
+	}
+	if h.MSHRStalls != 1 {
+		t.Errorf("stalls = %d, want 1", h.MSHRStalls)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Access(0, 0x1234)
+	h.Reset()
+	if h.Accesses != 0 || h.L1.S.Accesses != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if h.L1.Probe(0x1234) {
+		t.Error("Reset did not clear contents")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	s := Stats{Accesses: 10, Misses: 3}
+	if got := s.MissRate(); got != 0.3 {
+		t.Errorf("MissRate = %v", got)
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("idle MissRate != 0")
+	}
+}

@@ -1,0 +1,141 @@
+package cachesim
+
+// HierarchyConfig collects the data-side memory system of Table 7.
+type HierarchyConfig struct {
+	L1         Config
+	L2         Config
+	TLB        Config // "line size" is the page size
+	L1HitLat   int    // cycles for an L1 hit (includes DC access + return)
+	TLBHitLat  int
+	TLBMissLat int
+	L2Lat      int // added cycles for an L1 miss that hits L2
+	MemLat     int // added cycles for an L2 miss
+	MSHRs      int // max outstanding misses
+	Ports      int // cache ports per cycle (enforced by the pipeline)
+}
+
+// DefaultHierarchy returns the paper's Table 7 data-memory configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1:         Config{Name: "L1D", Sets: 32 * KB / 64 / 4, Ways: 4, LineSize: 64},
+		L2:         Config{Name: "L2", Sets: 1024 * KB / 64 / 4, Ways: 4, LineSize: 64},
+		TLB:        Config{Name: "DTLB", Sets: 128 / 4, Ways: 4, LineSize: 4096},
+		L1HitLat:   2,
+		TLBHitLat:  1,
+		TLBMissLat: 30,
+		L2Lat:      8,
+		MemLat:     65,
+		MSHRs:      16,
+		Ports:      4,
+	}
+}
+
+// Hierarchy composes TLB + L1 + L2 + memory with nonblocking misses. The
+// pipeline asks for the completion time of each data access; MSHR occupancy
+// both merges misses to the same line and bounds miss-level parallelism.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1  *Cache
+	L2  *Cache
+	TLB *Cache
+
+	// Outstanding misses: line address -> cycle the fill completes.
+	mshr map[uint64]int64
+
+	// Stats
+	TLBMisses  uint64
+	L1Misses   uint64
+	L2Misses   uint64
+	Accesses   uint64
+	MSHRMerges uint64
+	MSHRStalls uint64
+}
+
+// NewHierarchy builds the data-memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		L1:   New(cfg.L1),
+		L2:   New(cfg.L2),
+		TLB:  New(cfg.TLB),
+		mshr: make(map[uint64]int64),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+func (h *Hierarchy) reapMSHR(now int64) {
+	for line, ready := range h.mshr {
+		if ready <= now {
+			delete(h.mshr, line)
+		}
+	}
+}
+
+// Access computes the completion cycle of a data reference issued at cycle
+// now. Cache and TLB state update immediately (the reference wins the arrays
+// at issue); the returned cycle accounts for TLB, L1, L2 and memory
+// latencies, MSHR merging, and MSHR-full back-pressure.
+func (h *Hierarchy) Access(now int64, addr uint64) int64 {
+	h.Accesses++
+	lat := int64(h.cfg.TLBHitLat)
+	if !h.TLB.Access(addr) {
+		h.TLBMisses++
+		lat += int64(h.cfg.TLBMissLat)
+	}
+	line := h.L1.LineAddr(addr)
+	if h.L1.Access(addr) {
+		// The tag array fills at miss issue, so a "hit" may reference a line
+		// whose fill is still in flight; such hits merge into the MSHR and
+		// complete no earlier than the fill returns.
+		if ready, inFlight := h.mshr[line]; inFlight && ready > now {
+			h.MSHRMerges++
+			return max64(ready, now+lat+int64(h.cfg.L1HitLat))
+		}
+		return now + lat + int64(h.cfg.L1HitLat)
+	}
+	h.L1Misses++
+	h.reapMSHR(now)
+	start := now
+	if len(h.mshr) >= h.cfg.MSHRs {
+		// All MSHRs busy: the miss waits for the earliest fill to retire.
+		h.MSHRStalls++
+		earliest := int64(1<<62 - 1)
+		var line0 uint64
+		for l, r := range h.mshr {
+			if r < earliest {
+				earliest, line0 = r, l
+			}
+		}
+		delete(h.mshr, line0)
+		if earliest > start {
+			start = earliest
+		}
+	}
+	missLat := int64(h.cfg.L2Lat)
+	if !h.L2.Access(addr) {
+		h.L2Misses++
+		missLat += int64(h.cfg.MemLat)
+	}
+	done := start + lat + int64(h.cfg.L1HitLat) + missLat
+	h.mshr[line] = done
+	return done
+}
+
+// Reset clears arrays, MSHRs and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.TLB.Reset()
+	h.mshr = make(map[uint64]int64)
+	h.TLBMisses, h.L1Misses, h.L2Misses, h.Accesses = 0, 0, 0, 0
+	h.MSHRMerges, h.MSHRStalls = 0, 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

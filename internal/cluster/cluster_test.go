@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+
+	"ctcp/internal/isa"
+)
+
+func TestChainDistance(t *testing.T) {
+	g := DefaultGeometry()
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {1, 3, 2}, {3, 0, 3},
+	}
+	for _, c := range cases {
+		if got := g.Distance(c.a, c.b); got != c.want {
+			t.Errorf("chain Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	g := DefaultGeometry()
+	g.Topology = Ring
+	cases := []struct{ a, b, want int }{
+		{0, 3, 1}, {0, 2, 2}, {1, 3, 2}, {0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := g.Distance(c.a, c.b); got != c.want {
+			t.Errorf("ring Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestForwardLat(t *testing.T) {
+	g := DefaultGeometry()
+	if g.ForwardLat(1, 1) != 0 {
+		t.Error("intra-cluster forwarding not free")
+	}
+	if g.ForwardLat(0, 1) != 2 {
+		t.Error("adjacent forwarding != 2 cycles")
+	}
+	if g.ForwardLat(0, 3) != 6 {
+		t.Error("end-to-end chain forwarding != 6 cycles")
+	}
+	g.HopLat = 1
+	if g.ForwardLat(0, 3) != 3 {
+		t.Error("1-cycle hop variant wrong")
+	}
+}
+
+func TestDistancePanicsOnBadCluster(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid cluster")
+		}
+	}()
+	DefaultGeometry().Distance(0, 7)
+}
+
+func TestNeighborsPreferMiddle(t *testing.T) {
+	g := DefaultGeometry()
+	n0 := g.Neighbors(0)
+	if len(n0) != 1 || n0[0] != 1 {
+		t.Errorf("Neighbors(0) = %v", n0)
+	}
+	n1 := g.Neighbors(1)
+	if len(n1) != 2 || n1[0] != 2 {
+		// cluster 2 is more central than cluster 0
+		t.Errorf("Neighbors(1) = %v, want middle-first [2 0]", n1)
+	}
+	g.Topology = Ring
+	n0r := g.Neighbors(0)
+	if len(n0r) != 2 {
+		t.Errorf("ring Neighbors(0) = %v", n0r)
+	}
+}
+
+func TestMiddleClusters(t *testing.T) {
+	g := DefaultGeometry()
+	mc := g.MiddleClusters()
+	if len(mc) != 4 {
+		t.Fatalf("MiddleClusters = %v", mc)
+	}
+	if !(mc[0] == 1 || mc[0] == 2) || !(mc[1] == 1 || mc[1] == 2) {
+		t.Errorf("middle clusters first: %v", mc)
+	}
+	if !(mc[2] == 0 || mc[2] == 3) || !(mc[3] == 0 || mc[3] == 3) {
+		t.Errorf("end clusters last: %v", mc)
+	}
+	g2 := Geometry{Clusters: 2, Width: 4, HopLat: 2}
+	if len(g2.MiddleClusters()) != 2 {
+		t.Error("two-cluster middle set wrong")
+	}
+}
+
+func TestSlotCluster(t *testing.T) {
+	g := DefaultGeometry()
+	for slot, want := range map[int]int{0: 0, 3: 0, 4: 1, 11: 2, 15: 3} {
+		if got := g.SlotCluster(slot); got != want {
+			t.Errorf("SlotCluster(%d) = %d, want %d", slot, got, want)
+		}
+	}
+	if g.TotalWidth() != 16 {
+		t.Errorf("TotalWidth = %d", g.TotalWidth())
+	}
+}
+
+func TestStationsForCoverAllClasses(t *testing.T) {
+	for class := isa.Class(0); class < isa.NumClasses; class++ {
+		if len(StationsFor(class)) == 0 {
+			t.Errorf("class %v has no reservation station", class)
+		}
+		if len(UnitsFor(class)) == 0 {
+			t.Errorf("class %v has no functional unit", class)
+		}
+	}
+}
+
+func TestStationMapping(t *testing.T) {
+	if s := StationsFor(isa.ClassIntALU); len(s) != 2 || s[0] != RSSimpleA || s[1] != RSSimpleB {
+		t.Errorf("simple int stations = %v", s)
+	}
+	if s := StationsFor(isa.ClassFPLoad); len(s) != 1 || s[0] != RSMem {
+		t.Errorf("fp load stations = %v", s)
+	}
+	if s := StationsFor(isa.ClassFPSqrt); len(s) != 1 || s[0] != RSCpx {
+		t.Errorf("fp sqrt stations = %v", s)
+	}
+	if u := UnitsFor(isa.ClassFPAdd); len(u) != 1 || u[0] != FUFPSimple {
+		t.Errorf("fp add units = %v", u)
+	}
+	if u := UnitsFor(isa.ClassJump); len(u) != 1 || u[0] != FUBr {
+		t.Errorf("jump units = %v", u)
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	cases := map[isa.Class]Latency{
+		isa.ClassIntALU: {1, 1},
+		isa.ClassIntMul: {3, 1},
+		isa.ClassIntDiv: {20, 19},
+		isa.ClassFPMul:  {3, 1},
+		isa.ClassFPDiv:  {12, 12},
+		isa.ClassFPSqrt: {24, 24},
+		isa.ClassLoad:   {1, 1},
+		isa.ClassBranch: {1, 1},
+	}
+	for class, want := range cases {
+		if got := LatencyFor(class); got != want {
+			t.Errorf("LatencyFor(%v) = %+v, want %+v", class, got, want)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if Chain.String() != "chain" || Ring.String() != "ring" {
+		t.Error("topology names wrong")
+	}
+}
+
+func TestDefaultRSConfig(t *testing.T) {
+	rs := DefaultRSConfig()
+	if rs.Entries != 8 || rs.WritePorts != 2 {
+		t.Errorf("RS config = %+v", rs)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements the paper's primary contribution: dynamic cluster
+// assignment for a clustered trace cache processor, performed at retire time
+// by the fill unit. It provides
+//
+//   - the assignment strategy families compared in the paper: baseline
+//     slot-based issue, issue-time steering (executed by the pipeline, but
+//     declared here), Friendly's intra-trace retire-time reordering (plus the
+//     middle-cluster-biased variant), and the proposed feedback-directed
+//     retire-time (FDRT) scheme with and without chain pinning;
+//   - the cluster-chain profile (leader/follower designation and chain
+//     cluster) that the trace cache stores per instruction; and
+//   - the fill unit that consumes retiring instructions, updates chains,
+//     reorders completed traces, and installs them into the trace cache.
+package core
+
+import (
+	"ctcp/internal/emu"
+	"ctcp/internal/trace"
+)
+
+// StrategyKind selects the cluster assignment strategy.
+type StrategyKind int
+
+const (
+	// Base is slot-based issue of unreordered traces: cluster = slot/width.
+	Base StrategyKind = iota
+	// IssueTime steers at issue based on in-flight producer locations. The
+	// fill unit leaves traces unreordered; the pipeline performs steering,
+	// optionally charging extra front-end stages (§2.3 "Issue Time").
+	IssueTime
+	// Friendly is the prior retire-time scheme (Friendly et al., MICRO-31):
+	// slot scanning with static intra-trace dependency analysis.
+	Friendly
+	// FriendlyMiddle is Friendly with the slot scan biased so the majority
+	// of instructions land in middle clusters (§5.3's "minor adjustment").
+	FriendlyMiddle
+	// FDRT is the paper's feedback-directed retire-time assignment with
+	// chain pinning.
+	FDRT
+	// FDRTNoPin is FDRT without pinning chain members to a cluster
+	// (Tables 9 and 10 ablation).
+	FDRTNoPin
+)
+
+// String returns the strategy name used in tables and figures.
+func (k StrategyKind) String() string {
+	switch k {
+	case Base:
+		return "base"
+	case IssueTime:
+		return "issue-time"
+	case Friendly:
+		return "friendly"
+	case FriendlyMiddle:
+		return "friendly-middle"
+	case FDRT:
+		return "fdrt"
+	case FDRTNoPin:
+		return "fdrt-nopin"
+	}
+	return "unknown"
+}
+
+// ReordersAtRetire reports whether the fill unit physically reorders traces.
+func (k StrategyKind) ReordersAtRetire() bool {
+	switch k {
+	case Friendly, FriendlyMiddle, FDRT, FDRTNoPin:
+		return true
+	}
+	return false
+}
+
+// SteersAtIssue reports whether the pipeline steers instructions at issue.
+func (k StrategyKind) SteersAtIssue() bool { return k == IssueTime }
+
+// UsesChains reports whether the strategy maintains cluster-chain feedback.
+func (k StrategyKind) UsesChains() bool { return k == FDRT || k == FDRTNoPin }
+
+// Pins reports whether chain members keep their first cluster permanently.
+func (k StrategyKind) Pins() bool { return k == FDRT }
+
+// CritSrc identifies which register input of an instruction arrived last.
+type CritSrc int
+
+const (
+	// CritNone means no input was dynamically forwarded last: the
+	// instruction has no register inputs, or all inputs were ready in the
+	// register file.
+	CritNone CritSrc = iota
+	// CritRS1 and CritRS2 name the critical (last-arriving) input operand.
+	CritRS1
+	CritRS2
+)
+
+// RetireInfo is the per-instruction dynamic record the pipeline hands the
+// fill unit at retirement: the committed instruction plus everything the
+// FDRT scheme feeds on — where it executed, which input was critical, who
+// produced that input and from how far away.
+type RetireInfo struct {
+	Rec    emu.Committed
+	FromTC bool // fetched from the trace cache (false: instruction cache)
+	// Profile carries the chain fields the instruction was fetched with.
+	Profile trace.Profile
+	// Cluster is the execution cluster the instruction ran on.
+	Cluster int
+	// FetchGroup identifies the fetch unit (trace line instance or icache
+	// fetch group) the instruction arrived in; differing groups for producer
+	// and consumer make a dependence inter-trace.
+	FetchGroup uint64
+
+	// Critical-input description (the input whose data arrived last).
+	CritSrc       CritSrc
+	CritForwarded bool // critical input arrived via forwarding, not the RF
+	// Producer of the critical input (valid when CritSrc != CritNone and the
+	// producing instruction was identifiable in flight).
+	CritProducerPC      uint64
+	CritProducerSeq     uint64
+	CritProducerCluster int
+	CritInterTrace      bool // producer fetched in a different group
+	// CritProducerProfile is the chain profile the producer instance was
+	// fetched with (its trace-line bits at forward time).
+	CritProducerProfile trace.Profile
+}
+
+// ChainProfile holds the fill unit's *pending* chain designations: profile
+// bits assigned by the feedback logic that have not yet been written into a
+// trace line. The authoritative storage for chain bits is the trace line
+// itself (they travel with fetched instructions and are lost when lines are
+// evicted or instructions arrive from the instruction cache); this table
+// only bridges the gap between a designation being made at retirement and
+// the designated instruction next passing through the fill unit. It is
+// bounded and evicts in FIFO order. See DESIGN.md substitution #3.
+type ChainProfile struct {
+	capLimit int
+	m        map[uint64]trace.Profile
+	order    []uint64
+	head     int
+}
+
+// NewChainProfile returns a table bounded to capLimit entries.
+func NewChainProfile(capLimit int) *ChainProfile {
+	if capLimit <= 0 {
+		capLimit = 1
+	}
+	return &ChainProfile{
+		capLimit: capLimit,
+		m:        make(map[uint64]trace.Profile, capLimit),
+	}
+}
+
+// Get returns the profile recorded for pc (zero Profile when absent).
+func (c *ChainProfile) Get(pc uint64) trace.Profile { return c.m[pc] }
+
+// Set records the profile for pc, evicting the oldest entry when full.
+func (c *ChainProfile) Set(pc uint64, p trace.Profile) {
+	if _, exists := c.m[pc]; !exists {
+		if len(c.m) >= c.capLimit {
+			// FIFO eviction; skip order entries already deleted.
+			for c.head < len(c.order) {
+				victim := c.order[c.head]
+				c.head++
+				if _, ok := c.m[victim]; ok {
+					delete(c.m, victim)
+					break
+				}
+			}
+		}
+		c.order = append(c.order, pc)
+		// Compact the order slice occasionally so it cannot grow without bound.
+		if c.head > c.capLimit {
+			c.order = append([]uint64(nil), c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.m[pc] = p
+}
+
+// Has reports whether pc has a pending designation.
+func (c *ChainProfile) Has(pc uint64) bool {
+	_, ok := c.m[pc]
+	return ok
+}
+
+// Take removes and returns the pending designation for pc, if any.
+func (c *ChainProfile) Take(pc uint64) (trace.Profile, bool) {
+	p, ok := c.m[pc]
+	if ok {
+		delete(c.m, pc)
+	}
+	return p, ok
+}
+
+// Len returns the number of live entries.
+func (c *ChainProfile) Len() int { return len(c.m) }
+
+// Reset clears the table.
+func (c *ChainProfile) Reset() {
+	c.m = make(map[uint64]trace.Profile, c.capLimit)
+	c.order = nil
+	c.head = 0
+}

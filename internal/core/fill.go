@@ -1,0 +1,505 @@
+package core
+
+import (
+	"ctcp/internal/cluster"
+	"ctcp/internal/isa"
+	"ctcp/internal/trace"
+)
+
+// Config parameterizes the fill unit.
+type Config struct {
+	Strategy StrategyKind
+	Geom     cluster.Geometry
+	Trace    trace.Config
+	// DisableChains turns off inter-trace chain feedback, leaving only the
+	// intra-trace dynamic-criticality heuristics (the paper's "isolating the
+	// intra-trace heuristics" ablation, §5.3).
+	DisableChains bool
+	// ChainTableCap bounds the chain profile table; 0 selects the default of
+	// 4x the trace cache's instruction capacity.
+	ChainTableCap int
+}
+
+// FillStats counts fill-unit and assignment activity.
+type FillStats struct {
+	TracesBuilt uint64
+	InstsBuilt  uint64
+
+	// OptionCounts histograms the FDRT policy option applied per instruction
+	// (Table 5 / Figure 7): A, B, C, D, E; Skipped counts A–D instructions
+	// that found no slot near their target and fell back to Friendly
+	// placement.
+	OptionA, OptionB, OptionC, OptionD, OptionE uint64
+	Skipped                                     uint64
+
+	// Chain bookkeeping.
+	LeadersCreated   uint64
+	FollowersCreated uint64
+
+	// Cluster migration (Table 9): instructions whose assigned cluster
+	// differs from their previous dynamic construction.
+	Seen          uint64 // instructions with a previous assignment
+	Migrated      uint64
+	ChainSeen     uint64
+	ChainMigrated uint64
+}
+
+// MigrationRate returns Migrated/Seen.
+func (s FillStats) MigrationRate() float64 {
+	if s.Seen == 0 {
+		return 0
+	}
+	return float64(s.Migrated) / float64(s.Seen)
+}
+
+// ChainMigrationRate returns ChainMigrated/ChainSeen.
+func (s FillStats) ChainMigrationRate() float64 {
+	if s.ChainSeen == 0 {
+		return 0
+	}
+	return float64(s.ChainMigrated) / float64(s.ChainSeen)
+}
+
+// FillUnit consumes the retiring instruction stream, maintains cluster-chain
+// feedback, constructs traces, assigns clusters per the configured strategy,
+// and installs the finished lines into the trace cache.
+type FillUnit struct {
+	cfg     Config
+	builder *trace.Builder
+	tc      *trace.Cache
+	chains  *ChainProfile
+	pending []RetireInfo
+
+	// lastCluster tracks each static instruction's most recent assignment
+	// for the migration statistics of Table 9.
+	lastCluster map[uint64]int
+
+	S FillStats
+}
+
+// NewFillUnit builds a fill unit that installs into tc.
+func NewFillUnit(cfg Config, tc *trace.Cache) *FillUnit {
+	capLimit := cfg.ChainTableCap
+	if capLimit == 0 {
+		capLimit = 4 * cfg.Trace.Lines * cfg.Trace.MaxLen
+	}
+	return &FillUnit{
+		cfg:         cfg,
+		builder:     trace.NewBuilder(cfg.Trace),
+		tc:          tc,
+		chains:      NewChainProfile(capLimit),
+		lastCluster: make(map[uint64]int),
+	}
+}
+
+// Chains exposes the chain profile table (the pipeline reads it when
+// attaching profiles to icache-fetched instructions is not modeled; tests
+// inspect it).
+func (f *FillUnit) Chains() *ChainProfile { return f.chains }
+
+// Retire feeds one retired instruction to the fill unit.
+func (f *FillUnit) Retire(info RetireInfo) {
+	f.updateChains(info)
+	f.pending = append(f.pending, info)
+	if tr := f.builder.Add(info.Rec); tr != nil {
+		f.finishTrace(tr)
+	}
+}
+
+// Flush completes any partial trace (end of simulation).
+func (f *FillUnit) Flush() {
+	if tr := f.builder.Flush(); tr != nil {
+		f.finishTrace(tr)
+	}
+}
+
+func (f *FillUnit) finishTrace(tr *trace.Trace) {
+	infos := f.pending
+	f.pending = nil
+	f.S.TracesBuilt++
+	f.S.InstsBuilt += uint64(len(tr.Slots))
+	f.assign(tr, infos)
+	tr.CheckSlotIndices(f.cfg.Trace.MaxLen)
+	f.recordMigration(tr)
+	f.tc.Install(tr)
+}
+
+// updateChains applies the leader/follower criteria of Table 4 using the
+// dynamic critical-input feedback of one retiring consumer. Membership is
+// judged from the profile bits the instruction instances actually carried
+// (their trace-line bits), overlaid with any still-pending designations;
+// new designations go to the pending table until the fill unit next builds
+// a trace containing the instruction.
+func (f *FillUnit) updateChains(info RetireInfo) {
+	if !f.cfg.Strategy.UsesChains() || f.cfg.DisableChains {
+		return
+	}
+	if info.CritSrc == CritNone || !info.CritForwarded || !info.CritInterTrace {
+		return
+	}
+	pin := f.cfg.Strategy.Pins()
+	// Producer side: an instruction that forwards data to an inter-trace
+	// consumer and is not yet a chain member becomes a leader, pinned (or
+	// not) to the cluster it executed on.
+	pPC := info.CritProducerPC
+	pProf := info.CritProducerProfile
+	if pend, ok := f.chains.m[pPC]; ok {
+		pProf = pend
+	}
+	// Table 4 condition 2 for followers requires the producer to already be
+	// a member when the dependence is observed; a producer designated a
+	// leader by this very event recruits followers only on later occurrences.
+	// This staged growth keeps chains short-lived and bounded, matching the
+	// option distribution of Figure 7.
+	pMemberBefore := pProf.IsMember()
+	if !pProf.IsMember() {
+		// The suggested destination cluster for a new leader is the cluster
+		// it just executed on: the rest of its dataflow context already
+		// lives there, and pinning freezes that affinity.
+		pProf = trace.Profile{Role: trace.RoleLeader, ChainCluster: uint8(info.CritProducerCluster)}
+		f.chains.Set(pPC, pProf)
+		f.S.LeadersCreated++
+	} else if !pin {
+		// Without pinning a member chases the cluster its producer (or its
+		// own execution) most recently used — the instability Table 9
+		// quantifies.
+		pProf.ChainCluster = uint8(info.CritProducerCluster)
+		f.chains.Set(pPC, pProf)
+	}
+	// Consumer side: joins the producer's chain if it is not yet a member
+	// and the producer supplied its last-arriving input from another trace.
+	cPC := info.Rec.PC
+	cProf := info.Profile
+	if pend, ok := f.chains.m[cPC]; ok {
+		cProf = pend
+	}
+	_ = pMemberBefore
+	if !cProf.IsMember() {
+		f.chains.Set(cPC, trace.Profile{Role: trace.RoleFollower, ChainCluster: pProf.ChainCluster})
+		f.S.FollowersCreated++
+	} else if !pin && cProf.Role == trace.RoleFollower {
+		cProf.ChainCluster = pProf.ChainCluster
+		f.chains.Set(cPC, cProf)
+	}
+}
+
+func (f *FillUnit) recordMigration(tr *trace.Trace) {
+	for i := range tr.Slots {
+		s := &tr.Slots[i]
+		if last, ok := f.lastCluster[s.PC]; ok {
+			f.S.Seen++
+			isChain := s.Profile.IsMember()
+			if isChain {
+				f.S.ChainSeen++
+			}
+			if last != s.Cluster {
+				f.S.Migrated++
+				if isChain {
+					f.S.ChainMigrated++
+				}
+			}
+		}
+		f.lastCluster[s.PC] = s.Cluster
+	}
+}
+
+// assign sets SlotIndex/Cluster/Profile for every slot of tr.
+func (f *FillUnit) assign(tr *trace.Trace, infos []RetireInfo) {
+	// The profile written into the new line is the one the retiring
+	// instance carried (its old line's bits), unless a pending designation
+	// exists, which is consumed here. Instances fetched from the icache
+	// carry no bits: designations not refreshed by a pending entry are lost,
+	// exactly as when a trace line is evicted.
+	for i := range tr.Slots {
+		if pend, ok := f.chains.Take(tr.Slots[i].PC); ok {
+			tr.Slots[i].Profile = pend
+		} else if len(infos) == len(tr.Slots) {
+			tr.Slots[i].Profile = infos[i].Profile
+		} else {
+			tr.Slots[i].Profile = trace.Profile{}
+		}
+	}
+	switch f.cfg.Strategy {
+	case Friendly:
+		assignment := friendlyAssign(tr, f.cfg.Geom, naturalSlotOrder(f.cfg.Geom), nil)
+		materialize(tr, f.cfg.Geom, assignment)
+	case FriendlyMiddle:
+		assignment := friendlyAssign(tr, f.cfg.Geom, middleSlotOrder(f.cfg.Geom), nil)
+		materialize(tr, f.cfg.Geom, assignment)
+	case FDRT, FDRTNoPin:
+		assignment := f.fdrtAssign(tr, infos)
+		materialize(tr, f.cfg.Geom, assignment)
+	default: // Base, IssueTime: identity placement
+		for i := range tr.Slots {
+			tr.Slots[i].SlotIndex = i
+			tr.Slots[i].Cluster = f.cfg.Geom.SlotCluster(i)
+		}
+	}
+}
+
+// naturalSlotOrder returns slot indices 0..TotalWidth-1.
+func naturalSlotOrder(g cluster.Geometry) []int {
+	out := make([]int, g.TotalWidth())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// middleSlotOrder returns slot indices grouped by cluster, middle clusters
+// first, so a scan fills the middle of the machine before the ends.
+func middleSlotOrder(g cluster.Geometry) []int {
+	var out []int
+	for _, c := range g.MiddleClusters() {
+		for k := 0; k < g.Width; k++ {
+			out = append(out, c*g.Width+k)
+		}
+	}
+	return out
+}
+
+// staticIntraProducers returns, for each slot, the logical index of the
+// nearest earlier slot writing one of its source registers (-1 if none).
+// Index 0 is RS1's producer, index 1 is RS2's.
+func staticIntraProducers(tr *trace.Trace) [][2]int {
+	out := make([][2]int, len(tr.Slots))
+	lastDef := map[isa.Reg]int{}
+	for i := range tr.Slots {
+		s1, s2 := tr.Slots[i].Inst.Srcs()
+		out[i] = [2]int{-1, -1}
+		if s1 != isa.NoReg {
+			if j, ok := lastDef[s1]; ok {
+				out[i][0] = j
+			}
+		}
+		if s2 != isa.NoReg {
+			if j, ok := lastDef[s2]; ok {
+				out[i][1] = j
+			}
+		}
+		if d := tr.Slots[i].Inst.Dest(); d != isa.NoReg {
+			lastDef[d] = i
+		}
+	}
+	return out
+}
+
+// staticIntraConsumers reports, for each slot, whether a later slot reads its
+// destination before it is redefined.
+func staticIntraConsumers(tr *trace.Trace) []bool {
+	out := make([]bool, len(tr.Slots))
+	prods := staticIntraProducers(tr)
+	for i := range tr.Slots {
+		for _, p := range prods[i] {
+			if p >= 0 {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// friendlyAssign implements the prior retire-time scheme: walk issue slots
+// in slotOrder; for each slot, choose the oldest unplaced instruction with a
+// static intra-trace input dependence on an instruction already assigned to
+// that slot's cluster, else the oldest unplaced instruction. preassigned
+// (may be nil) carries clusters already fixed by FDRT; only unassigned
+// instructions (-1) are placed, into clusters with spare capacity.
+func friendlyAssign(tr *trace.Trace, g cluster.Geometry, slotOrder []int, preassigned []int) []int {
+	n := len(tr.Slots)
+	assigned := make([]int, n)
+	capacity := make([]int, g.Clusters)
+	for c := range capacity {
+		capacity[c] = g.Width
+	}
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	remaining := n
+	if preassigned != nil {
+		for i, c := range preassigned {
+			if c >= 0 {
+				assigned[i] = c
+				capacity[c]--
+				remaining--
+			}
+		}
+	}
+	prods := staticIntraProducers(tr)
+	for _, slot := range slotOrder {
+		if remaining == 0 {
+			break
+		}
+		c := g.SlotCluster(slot)
+		if capacity[c] <= 0 {
+			continue
+		}
+		pick := -1
+		for i := 0; i < n; i++ {
+			if assigned[i] >= 0 {
+				continue
+			}
+			for _, p := range prods[i] {
+				if p >= 0 && assigned[p] == c {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			for i := 0; i < n; i++ {
+				if assigned[i] < 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		assigned[pick] = c
+		capacity[c]--
+		remaining--
+	}
+	return assigned
+}
+
+// fdrtAssign implements Table 5. It walks instructions oldest to youngest,
+// classifies each by (critical intra-trace producer, chain membership,
+// intra-trace consumer), and tries the published cluster priority lists.
+// Instructions that cannot be placed are assigned afterwards with Friendly's
+// slot scan over the remaining capacity.
+func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
+	g := f.cfg.Geom
+	n := len(tr.Slots)
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	capacity := make([]int, g.Clusters)
+	for c := range capacity {
+		capacity[c] = g.Width
+	}
+	// Map commit sequence numbers to logical indices for dynamic
+	// critical-producer identification.
+	seqIdx := make(map[uint64]int, n)
+	if len(infos) == n {
+		for i, inf := range infos {
+			seqIdx[inf.Rec.Seq] = i
+		}
+	}
+	consumers := staticIntraConsumers(tr)
+	statics := staticIntraProducers(tr)
+	const useStaticFallback = true
+
+	tryAssign := func(i int, clusters ...int) bool {
+		for _, c := range clusters {
+			if c >= 0 && c < g.Clusters && capacity[c] > 0 {
+				assigned[i] = c
+				capacity[c]--
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < n; i++ {
+		// Critical intra-trace producer: the instruction's last-arriving
+		// input was produced by an earlier instruction of this same trace,
+		// and that producer has already been placed. When the dynamic
+		// critical input was not intra-trace, the nearest static intra-trace
+		// producer stands in (the fill unit always has the static analysis).
+		prodCl := -1
+		critIntra := false
+		if len(infos) == n {
+			inf := infos[i]
+			if inf.CritSrc != CritNone {
+				if j, ok := seqIdx[inf.CritProducerSeq]; ok && j < i && assigned[j] >= 0 {
+					prodCl = assigned[j]
+					critIntra = true
+				}
+			}
+		}
+		if prodCl < 0 && useStaticFallback {
+			for _, j := range statics[i] {
+				if j >= 0 && assigned[j] >= 0 {
+					prodCl = assigned[j]
+				}
+			}
+		}
+		prof := tr.Slots[i].Profile
+		chainCl := -1
+		if prof.IsMember() && int(prof.ChainCluster) < g.Clusters {
+			chainCl = int(prof.ChainCluster)
+		}
+		switch {
+		case prodCl >= 0 && chainCl < 0: // Option A
+			f.S.OptionA++
+			if !tryAssign(i, append([]int{prodCl}, g.Neighbors(prodCl)...)...) {
+				f.S.Skipped++
+			}
+		case prodCl < 0 && chainCl >= 0: // Option B
+			f.S.OptionB++
+			if !tryAssign(i, append([]int{chainCl}, g.Neighbors(chainCl)...)...) {
+				f.S.Skipped++
+			}
+			if assigned[i] != chainCl {
+				// The member could not be placed on its chain cluster: its
+				// profile bits are not rewritten into the new line (the
+				// designation decays), so the chain re-forms around current
+				// placements instead of chasing a stale pin.
+				tr.Slots[i].Profile = trace.Profile{}
+			}
+		case prodCl >= 0 && chainCl >= 0: // Option C
+			f.S.OptionC++
+			// The observed critical input arbitrates: an intra-trace critical
+			// input pulls toward the producer, an inter-trace one toward the
+			// chain cluster.
+			var order []int
+			if critIntra {
+				order = append([]int{prodCl, chainCl}, g.Neighbors(prodCl)...)
+			} else {
+				order = append([]int{chainCl, prodCl}, g.Neighbors(chainCl)...)
+			}
+			if !tryAssign(i, order...) {
+				f.S.Skipped++
+			}
+			if assigned[i] != chainCl {
+				tr.Slots[i].Profile = trace.Profile{} // designation decays
+			}
+		case consumers[i]: // Option D
+			f.S.OptionD++
+			// Only the true middle clusters are tried ("1. middle 2. skip"):
+			// producers that do not fit funnel back through the Friendly
+			// fallback instead of displacing option-A consumers.
+			mids := g.MiddleClusters()
+			n := g.Clusters / 2
+			if n < 1 {
+				n = 1
+			}
+			if !tryAssign(i, mids[:n]...) {
+				f.S.Skipped++
+			}
+		default: // Option E
+			f.S.OptionE++
+		}
+	}
+	// Friendly fallback for everything unassigned.
+	return friendlyAssign(tr, g, naturalSlotOrder(g), assigned)
+}
+
+// materialize turns a per-instruction cluster assignment into physical slot
+// indices: instructions assigned to cluster c occupy slots c*W, c*W+1, ...
+// in logical order, which preserves oldest-first selection within a cluster.
+func materialize(tr *trace.Trace, g cluster.Geometry, assigned []int) {
+	next := make([]int, g.Clusters)
+	for i := range tr.Slots {
+		c := assigned[i]
+		if c < 0 || c >= g.Clusters {
+			panic("core: materialize called with incomplete assignment")
+		}
+		tr.Slots[i].Cluster = c
+		tr.Slots[i].SlotIndex = c*g.Width + next[c]
+		next[c]++
+	}
+}

@@ -1,0 +1,400 @@
+// Package emu is the architectural (functional) simulator for TRISC-64. It
+// plays the role SimpleScalar's sim-fast plays in the paper: it executes
+// programs to architectural completion and streams committed-instruction
+// records to the timing model, which replays them through the clustered
+// pipeline. The emulator is the single source of truth for program semantics;
+// the timing model never re-executes an instruction.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"ctcp/internal/isa"
+)
+
+// Committed describes one architecturally executed instruction — everything
+// the timing model needs: identity, control-flow outcome, and memory address.
+type Committed struct {
+	Seq    uint64   // 0-based commit sequence number
+	PC     uint64   // instruction address
+	Inst   isa.Inst // decoded instruction
+	NextPC uint64   // address of the next committed instruction
+	Taken  bool     // control flow only: branch/jump taken
+	EA     uint64   // memory ops only: effective address
+	Size   uint8    // memory ops only: access size in bytes
+}
+
+// IsTakenControl reports whether the record is a taken control transfer.
+func (c Committed) IsTakenControl() bool { return c.Inst.IsControl() && c.Taken }
+
+// Stream is a source of committed instructions in program order. Next
+// returns ok=false when the stream is exhausted (program halted or an
+// instruction budget was reached).
+type Stream interface {
+	Next() (Committed, bool)
+}
+
+// Fault is an architectural execution error (bad PC, wild memory access).
+type Fault struct {
+	PC     uint64
+	Reason string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("emu: fault at pc=%#x: %s", f.PC, f.Reason) }
+
+// Machine is one TRISC-64 hardware context.
+type Machine struct {
+	// Regs holds the unified register file: integer registers in 0–31, FP
+	// registers (as IEEE-754 bit patterns) in 32–63.
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Mem  *Memory
+
+	prog   *isa.Program
+	halted bool
+	seq    uint64
+	fault  error
+
+	// OutHash accumulates every OUT value into an order-sensitive checksum;
+	// workloads use it as their self-check.
+	OutHash uint64
+	// OutValues retains the first few OUT values for debugging.
+	OutValues []uint64
+}
+
+const maxRetainedOut = 64
+
+// New creates a machine loaded with prog: memory is initialized with the data
+// segment, PC is at the entry point, SP at the stack top, and GP at the data
+// base.
+func New(prog *isa.Program) *Machine {
+	m := &Machine{Mem: NewMemory(), prog: prog}
+	m.Reset()
+	return m
+}
+
+// Reset reloads the program image and clears all architectural state.
+func (m *Machine) Reset() {
+	m.Regs = [isa.NumRegs]uint64{}
+	m.Mem = NewMemory()
+	m.Mem.WriteBytes(m.prog.DataBase, m.prog.Data)
+	m.PC = m.prog.Entry
+	if m.PC == 0 {
+		m.PC = m.prog.TextBase
+	}
+	m.Regs[isa.SP] = isa.StackTop
+	m.Regs[isa.GP] = m.prog.DataBase
+	m.halted = false
+	m.seq = 0
+	m.fault = nil
+	m.OutHash = 0
+	m.OutValues = nil
+}
+
+// Halted reports whether the program has executed HALT or faulted.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Err returns the fault that stopped the machine, or nil for a clean HALT.
+func (m *Machine) Err() error { return m.fault }
+
+// InstCount returns the number of committed instructions so far.
+func (m *Machine) InstCount() uint64 { return m.seq }
+
+func (m *Machine) get(r isa.Reg) uint64 {
+	if r.IsZero() || r == isa.NoReg {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) getF(r isa.Reg) float64 { return math.Float64frombits(m.get(r)) }
+
+func (m *Machine) set(r isa.Reg, v uint64) {
+	if r.IsZero() || r == isa.NoReg {
+		return
+	}
+	m.Regs[r] = v
+}
+
+func (m *Machine) setF(r isa.Reg, v float64) { m.set(r, math.Float64bits(v)) }
+
+func boolQ(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fpBool(b bool) float64 {
+	if b {
+		return 2.0 // Alpha convention: true compares write 2.0
+	}
+	return 0.0
+}
+
+// Next implements Stream: it executes one instruction and returns its
+// committed record. ok=false after HALT or a fault.
+func (m *Machine) Next() (Committed, bool) {
+	if m.halted {
+		return Committed{}, false
+	}
+	c, err := m.Step()
+	if err != nil {
+		m.halted = true
+		m.fault = err
+		return Committed{}, false
+	}
+	return c, true
+}
+
+// Step executes exactly one instruction.
+func (m *Machine) Step() (Committed, error) {
+	if m.halted {
+		return Committed{}, &Fault{m.PC, "machine is halted"}
+	}
+	inst, ok := m.prog.InstAt(m.PC)
+	if !ok {
+		return Committed{}, &Fault{m.PC, "pc outside text segment"}
+	}
+	c := Committed{Seq: m.seq, PC: m.PC, Inst: inst}
+	next := m.PC + isa.PCStride
+
+	opB := func() uint64 { // second integer operand: register or immediate
+		if inst.UseImm {
+			return uint64(inst.Imm)
+		}
+		return m.get(inst.Rb)
+	}
+
+	switch inst.Op {
+	case isa.NOP:
+	case isa.ADD:
+		m.set(inst.Rc, m.get(inst.Ra)+opB())
+	case isa.SUB:
+		m.set(inst.Rc, m.get(inst.Ra)-opB())
+	case isa.AND:
+		m.set(inst.Rc, m.get(inst.Ra)&opB())
+	case isa.OR:
+		m.set(inst.Rc, m.get(inst.Ra)|opB())
+	case isa.XOR:
+		m.set(inst.Rc, m.get(inst.Ra)^opB())
+	case isa.ANDNOT:
+		m.set(inst.Rc, m.get(inst.Ra)&^opB())
+	case isa.SLL:
+		m.set(inst.Rc, m.get(inst.Ra)<<(opB()&63))
+	case isa.SRL:
+		m.set(inst.Rc, m.get(inst.Ra)>>(opB()&63))
+	case isa.SRA:
+		m.set(inst.Rc, uint64(int64(m.get(inst.Ra))>>(opB()&63)))
+	case isa.CMPEQ:
+		m.set(inst.Rc, boolQ(m.get(inst.Ra) == opB()))
+	case isa.CMPLT:
+		m.set(inst.Rc, boolQ(int64(m.get(inst.Ra)) < int64(opB())))
+	case isa.CMPLE:
+		m.set(inst.Rc, boolQ(int64(m.get(inst.Ra)) <= int64(opB())))
+	case isa.CMPULT:
+		m.set(inst.Rc, boolQ(m.get(inst.Ra) < opB()))
+	case isa.CMPULE:
+		m.set(inst.Rc, boolQ(m.get(inst.Ra) <= opB()))
+	case isa.SEXTB:
+		m.set(inst.Rc, uint64(int64(int8(m.get(inst.Ra)))))
+	case isa.SEXTW:
+		m.set(inst.Rc, uint64(int64(int16(m.get(inst.Ra)))))
+	case isa.MOVI:
+		m.set(inst.Rc, uint64(inst.Imm))
+	case isa.MUL:
+		m.set(inst.Rc, m.get(inst.Ra)*opB())
+	case isa.DIV:
+		d := int64(opB())
+		if d == 0 {
+			m.set(inst.Rc, 0) // architectural: divide by zero yields zero
+		} else {
+			m.set(inst.Rc, uint64(int64(m.get(inst.Ra))/d))
+		}
+	case isa.REM:
+		d := int64(opB())
+		if d == 0 {
+			m.set(inst.Rc, 0)
+		} else {
+			m.set(inst.Rc, uint64(int64(m.get(inst.Ra))%d))
+		}
+
+	case isa.LDQ, isa.LDL, isa.LDW, isa.LDBU, isa.LDT:
+		ea := m.get(inst.Ra) + uint64(inst.Imm)
+		c.EA = ea
+		switch inst.Op {
+		case isa.LDQ, isa.LDT:
+			c.Size = 8
+			m.set(inst.Rc, m.Mem.Read(ea, 8))
+		case isa.LDL:
+			c.Size = 4
+			m.set(inst.Rc, uint64(int64(int32(m.Mem.Read(ea, 4)))))
+		case isa.LDW:
+			c.Size = 2
+			m.set(inst.Rc, m.Mem.Read(ea, 2))
+		case isa.LDBU:
+			c.Size = 1
+			m.set(inst.Rc, m.Mem.Read(ea, 1))
+		}
+	case isa.STQ, isa.STL, isa.STW, isa.STB, isa.STT:
+		ea := m.get(inst.Ra) + uint64(inst.Imm)
+		c.EA = ea
+		v := m.get(inst.Rb)
+		switch inst.Op {
+		case isa.STQ, isa.STT:
+			c.Size = 8
+			m.Mem.Write(ea, v, 8)
+		case isa.STL:
+			c.Size = 4
+			m.Mem.Write(ea, v, 4)
+		case isa.STW:
+			c.Size = 2
+			m.Mem.Write(ea, v, 2)
+		case isa.STB:
+			c.Size = 1
+			m.Mem.Write(ea, v, 1)
+		}
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		v := int64(m.get(inst.Ra))
+		var taken bool
+		switch inst.Op {
+		case isa.BEQ:
+			taken = v == 0
+		case isa.BNE:
+			taken = v != 0
+		case isa.BLT:
+			taken = v < 0
+		case isa.BLE:
+			taken = v <= 0
+		case isa.BGT:
+			taken = v > 0
+		case isa.BGE:
+			taken = v >= 0
+		}
+		c.Taken = taken
+		if taken {
+			next = uint64(inst.Imm)
+		}
+	case isa.FBEQ, isa.FBNE:
+		v := m.getF(inst.Ra)
+		taken := v == 0
+		if inst.Op == isa.FBNE {
+			taken = !taken
+		}
+		c.Taken = taken
+		if taken {
+			next = uint64(inst.Imm)
+		}
+	case isa.BR:
+		c.Taken = true
+		m.set(inst.Rc, m.PC+isa.PCStride)
+		next = uint64(inst.Imm)
+	case isa.JSR:
+		c.Taken = true
+		target := m.get(inst.Rb)
+		m.set(inst.Rc, m.PC+isa.PCStride)
+		next = target
+	case isa.JMP, isa.RET:
+		c.Taken = true
+		next = m.get(inst.Rb)
+
+	case isa.ADDT:
+		m.setF(inst.Rc, m.getF(inst.Ra)+m.getF(inst.Rb))
+	case isa.SUBT:
+		m.setF(inst.Rc, m.getF(inst.Ra)-m.getF(inst.Rb))
+	case isa.MULT:
+		m.setF(inst.Rc, m.getF(inst.Ra)*m.getF(inst.Rb))
+	case isa.DIVT:
+		m.setF(inst.Rc, m.getF(inst.Ra)/m.getF(inst.Rb))
+	case isa.SQRTT:
+		m.setF(inst.Rc, math.Sqrt(m.getF(inst.Ra)))
+	case isa.CMPTEQ:
+		m.setF(inst.Rc, fpBool(m.getF(inst.Ra) == m.getF(inst.Rb)))
+	case isa.CMPTLT:
+		m.setF(inst.Rc, fpBool(m.getF(inst.Ra) < m.getF(inst.Rb)))
+	case isa.CMPTLE:
+		m.setF(inst.Rc, fpBool(m.getF(inst.Ra) <= m.getF(inst.Rb)))
+	case isa.CVTQT:
+		m.setF(inst.Rc, float64(int64(m.get(inst.Ra))))
+	case isa.CVTTQ:
+		m.set(inst.Rc, uint64(int64(m.getF(inst.Ra))))
+	case isa.ITOF:
+		m.set(inst.Rc, m.get(inst.Ra)) // bit move into FP space
+	case isa.FTOI:
+		m.set(inst.Rc, m.get(inst.Ra)) // bit move out of FP space
+
+	case isa.HALT:
+		m.halted = true
+		next = m.PC
+	case isa.OUT:
+		v := m.get(inst.Ra)
+		m.OutHash = m.OutHash*0x100000001b3 + v // FNV-style fold
+		if len(m.OutValues) < maxRetainedOut {
+			m.OutValues = append(m.OutValues, v)
+		}
+
+	default:
+		return Committed{}, &Fault{m.PC, fmt.Sprintf("unimplemented opcode %v", inst.Op)}
+	}
+
+	if next%isa.PCStride != 0 {
+		return Committed{}, &Fault{m.PC, fmt.Sprintf("misaligned control target %#x", next)}
+	}
+	c.NextPC = next
+	m.PC = next
+	m.seq++
+	return c, nil
+}
+
+// Run executes until HALT, a fault, or maxInsts committed instructions
+// (0 = unlimited). It returns the number of instructions committed.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	start := m.seq
+	for !m.halted {
+		if maxInsts != 0 && m.seq-start >= maxInsts {
+			break
+		}
+		if _, err := m.Step(); err != nil {
+			return m.seq - start, err
+		}
+	}
+	return m.seq - start, nil
+}
+
+// LimitStream wraps a Stream with a hard instruction budget.
+type LimitStream struct {
+	S      Stream
+	Budget uint64
+	used   uint64
+}
+
+// Next implements Stream.
+func (l *LimitStream) Next() (Committed, bool) {
+	if l.Budget != 0 && l.used >= l.Budget {
+		return Committed{}, false
+	}
+	c, ok := l.S.Next()
+	if ok {
+		l.used++
+	}
+	return c, ok
+}
+
+// SliceStream replays a fixed slice of committed records; it is used heavily
+// in pipeline unit tests.
+type SliceStream struct {
+	Recs []Committed
+	pos  int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Committed, bool) {
+	if s.pos >= len(s.Recs) {
+		return Committed{}, false
+	}
+	c := s.Recs[s.pos]
+	s.pos++
+	return c, true
+}

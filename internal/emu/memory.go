@@ -1,0 +1,116 @@
+package emu
+
+// Memory is a sparse, byte-addressable, little-endian memory. Pages are
+// allocated on first touch, so the 64-bit address space costs nothing until
+// used. Reads of untouched memory return zero, which matches the loader
+// zero-filling BSS.
+type Memory struct {
+	pages map[uint64]*page
+	// last-page cache: emulation is extremely local, so a one-entry TLB for
+	// the page map removes most map lookups.
+	lastIdx  uint64
+	lastPage *page
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	idx := addr >> pageShift
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		if !alloc {
+			return nil
+		}
+		p = new(page)
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// Read returns size bytes (1, 2, 4 or 8) at addr as a little-endian value.
+// Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	if off := addr & pageMask; off+uint64(size) <= pageSize {
+		if p := m.pageFor(addr, false); p != nil {
+			var v uint64
+			for i := size - 1; i >= 0; i-- {
+				v = v<<8 | uint64(p[off+uint64(i)])
+			}
+			return v
+		}
+		return 0
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.LoadByte(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, v uint64, size int) {
+	if off := addr & pageMask; off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(v)
+			v >>= 8
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v))
+		v >>= 8
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		p := m.pageFor(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint64(i))
+	}
+	return out
+}
+
+// PageCount returns the number of touched pages (test/diagnostic aid).
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,125 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §2 for the index). Each experiment function
+// returns a typed result with the measured values plus the paper's reported
+// numbers for side-by-side comparison, and renders to a plain-text table.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ctcp/internal/core"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+// DefaultBudget is the committed-instruction budget per simulation. The
+// paper runs 100M instructions per benchmark; these kernels reach steady
+// state within a few hundred thousand (DESIGN.md substitution #4).
+const DefaultBudget = 200_000
+
+// Options configures a Runner.
+type Options struct {
+	// Budget is the committed-instruction count per run (0 = DefaultBudget).
+	Budget uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Runner executes and memoizes benchmark/configuration simulations. All
+// experiments share one Runner so configurations reused across tables (the
+// base, Friendly and FDRT runs appear in many) are simulated once.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*pipeline.Stats
+	sem   chan struct{}
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Budget == 0 {
+		opts.Budget = DefaultBudget
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:  opts,
+		cache: make(map[string]*pipeline.Stats),
+		sem:   make(chan struct{}, opts.Parallelism),
+	}
+}
+
+// Budget returns the per-run instruction budget.
+func (r *Runner) Budget() uint64 { return r.opts.Budget }
+
+// Run simulates bm under cfg (cached by benchmark name + cfgKey).
+func (r *Runner) Run(bm workload.Benchmark, cfgKey string, cfg pipeline.Config) *pipeline.Stats {
+	key := bm.Name + "/" + cfgKey
+	r.mu.Lock()
+	if s, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return s
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	prog := bm.ProgramFor(r.opts.Budget)
+	cfg.MaxInsts = r.opts.Budget
+	s := pipeline.RunProgram(prog, cfg)
+	<-r.sem
+
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	return s
+}
+
+// Prefetch runs the given benchmark/config pairs concurrently so later
+// cache hits are instant. Experiments call it with their full matrix.
+func (r *Runner) Prefetch(bms []workload.Benchmark, cfgs map[string]pipeline.Config) {
+	var wg sync.WaitGroup
+	for _, bm := range bms {
+		for key, cfg := range cfgs {
+			wg.Add(1)
+			go func(bm workload.Benchmark, key string, cfg pipeline.Config) {
+				defer wg.Done()
+				r.Run(bm, key, cfg)
+			}(bm, key, cfg)
+		}
+	}
+	wg.Wait()
+}
+
+// --- shared configurations ---
+
+// BaseConfig returns the Table 7 baseline.
+func BaseConfig() pipeline.Config { return pipeline.DefaultConfig() }
+
+// StrategyConfigs returns the named strategy configurations used across the
+// performance figures.
+func StrategyConfigs() map[string]pipeline.Config {
+	base := BaseConfig()
+	return map[string]pipeline.Config{
+		"base":         base,
+		"friendly":     base.WithStrategy(core.Friendly, false),
+		"friendly-mid": base.WithStrategy(core.FriendlyMiddle, false),
+		"fdrt":         base.WithStrategy(core.FDRT, false),
+		"fdrt-nopin":   base.WithStrategy(core.FDRTNoPin, false),
+		"issue0":       base.WithStrategy(core.IssueTime, true),
+		"issue4":       base.WithStrategy(core.IssueTime, false),
+	}
+}
+
+// speedup returns baseCycles/cycles.
+func speedup(base, s *pipeline.Stats) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(s.Cycles)
+}
+
+func fmtBench(name string) string { return fmt.Sprintf("%-9s", name) }

@@ -1,0 +1,211 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding. Each instruction packs into one uint64:
+//
+//	bits  6:0   opcode
+//	bits 12:7   Ra
+//	bits 18:13  Rb
+//	bits 24:19  Rc
+//	bit  25     UseImm
+//	bits 57:26  Imm (signed 32-bit)
+//
+// Register fields are 6 bits wide; absent operands (NoReg) are encoded as the
+// hardwired zero register of the appropriate file, which is semantically
+// identical. Decode therefore yields the canonical form of an instruction
+// (see Canon).
+
+const (
+	opBits  = 7
+	regBits = 6
+	immBits = 32
+
+	raShift   = opBits
+	rbShift   = raShift + regBits
+	rcShift   = rbShift + regBits
+	immShift  = rcShift + regBits + 1
+	flagShift = rcShift + regBits
+)
+
+// ErrBadEncoding is returned by Decode for words that do not decode to a
+// defined instruction.
+type ErrBadEncoding struct {
+	Word   uint64
+	Reason string
+}
+
+func (e *ErrBadEncoding) Error() string {
+	return fmt.Sprintf("isa: bad encoding %#016x: %s", e.Word, e.Reason)
+}
+
+func encodeReg(r Reg, fp bool) uint64 {
+	if r == NoReg {
+		if fp {
+			r = FZeroReg
+		} else {
+			r = ZeroReg
+		}
+	}
+	return uint64(r) & (1<<regBits - 1)
+}
+
+// Encode packs the instruction into its binary word. Encode panics if Imm is
+// outside the signed 32-bit range; program text produced by the assembler and
+// builder always satisfies this.
+func (i Inst) Encode() uint64 {
+	if i.Imm > 1<<31-1 || i.Imm < -(1<<31) {
+		panic(fmt.Sprintf("isa: immediate %d of %q exceeds 32-bit encoding range", i.Imm, i))
+	}
+	c := i.Canon()
+	w := uint64(c.Op) & (1<<opBits - 1)
+	w |= encodeReg(c.Ra, false) << raShift
+	w |= encodeReg(c.Rb, false) << rbShift
+	w |= encodeReg(c.Rc, false) << rcShift
+	if c.UseImm {
+		w |= 1 << flagShift
+	}
+	w |= (uint64(uint32(int32(c.Imm)))) << immShift
+	return w
+}
+
+// Decode unpacks a binary word into the canonical instruction it encodes.
+func Decode(w uint64) (Inst, error) {
+	op := Op(w & (1<<opBits - 1))
+	if int(op) >= NumOps {
+		return Inst{}, &ErrBadEncoding{w, "undefined opcode"}
+	}
+	i := Inst{
+		Op:     op,
+		Ra:     Reg(w >> raShift & (1<<regBits - 1)),
+		Rb:     Reg(w >> rbShift & (1<<regBits - 1)),
+		Rc:     Reg(w >> rcShift & (1<<regBits - 1)),
+		UseImm: w>>flagShift&1 == 1,
+		Imm:    int64(int32(uint32(w >> immShift))),
+	}
+	return i.Canon(), nil
+}
+
+// Canon returns the canonical form of the instruction: operand fields that
+// the opcode does not use are forced to the integer zero register, register
+// operands land in the correct file (FP ops read/write F-space), and UseImm
+// is cleared for formats that carry no register-vs-immediate distinction.
+// Canonical instructions survive an Encode/Decode round trip unchanged.
+func (i Inst) Canon() Inst {
+	c := i
+	norm := func(r Reg, want bool) Reg { // want=true → FP file
+		if r == NoReg || r.IsZero() {
+			if want {
+				return FZeroReg
+			}
+			return ZeroReg
+		}
+		if want && !r.IsFP() {
+			return Reg(uint8(r)%NumIntRegs) + NumIntRegs
+		}
+		if !want && r.IsFP() {
+			return Reg(uint8(r) % NumIntRegs)
+		}
+		if r >= NumRegs {
+			return Reg(uint8(r) % NumRegs)
+		}
+		return r
+	}
+	zero := func() Reg { return ZeroReg }
+	switch c.Op.Class() {
+	case ClassNop, ClassHalt:
+		c.Rb, c.Rc = zero(), zero()
+		if c.Op == OUT {
+			c.Ra = norm(c.Ra, false)
+		} else {
+			c.Ra = zero()
+			c.Imm = 0
+		}
+		c.UseImm = false
+		if c.Op != OUT {
+			break
+		}
+		c.Imm = 0
+	case ClassLoad:
+		c.Ra, c.Rb, c.Rc = norm(c.Ra, false), zero(), norm(c.Rc, false)
+		c.UseImm = true
+	case ClassFPLoad:
+		c.Ra, c.Rb, c.Rc = norm(c.Ra, false), zero(), norm(c.Rc, true)
+		c.UseImm = true
+	case ClassStore:
+		c.Ra, c.Rb, c.Rc = norm(c.Ra, false), norm(c.Rb, false), zero()
+		c.UseImm = true
+	case ClassFPStore:
+		c.Ra, c.Rb, c.Rc = norm(c.Ra, false), norm(c.Rb, true), zero()
+		c.UseImm = true
+	case ClassBranch:
+		if c.Op == BR {
+			c.Ra, c.Rb = zero(), zero()
+			c.Rc = norm(c.Rc, false)
+		} else {
+			c.Ra, c.Rb, c.Rc = norm(c.Ra, false), zero(), zero()
+		}
+		c.UseImm = true
+	case ClassFPBranch:
+		c.Ra, c.Rb, c.Rc = norm(c.Ra, true), zero(), zero()
+		c.UseImm = true
+	case ClassJump:
+		c.Ra = zero()
+		c.Rb = norm(c.Rb, false)
+		if c.Op == JSR {
+			c.Rc = norm(c.Rc, false)
+		} else {
+			c.Rc = zero()
+		}
+		c.UseImm = false
+		c.Imm = 0
+	case ClassFPAdd, ClassFPMul, ClassFPDiv, ClassFPSqrt:
+		fpA, fpC := true, true
+		switch c.Op {
+		case ITOF, CVTQT:
+			fpA = false
+		case FTOI, CVTTQ:
+			fpC = false
+		}
+		c.Ra = norm(c.Ra, fpA)
+		c.Rc = norm(c.Rc, fpC)
+		if isUnary(c.Op) {
+			c.Rb = Reg(FZeroReg)
+			if !fpA {
+				c.Rb = zero()
+			}
+		} else {
+			c.Rb = norm(c.Rb, true)
+		}
+		c.UseImm = false
+		c.Imm = 0
+	default: // integer operate
+		if c.Op == MOVI {
+			c.Ra, c.Rb = zero(), zero()
+			c.Rc = norm(c.Rc, false)
+			c.UseImm = true
+			break
+		}
+		c.Ra = norm(c.Ra, false)
+		c.Rc = norm(c.Rc, false)
+		if isUnary(c.Op) {
+			c.Rb = zero()
+			c.UseImm = false
+			c.Imm = 0
+		} else if c.UseImm {
+			c.Rb = zero()
+		} else {
+			c.Rb = norm(c.Rb, false)
+			c.Imm = 0
+		}
+	}
+	return c
+}
+
+func isUnary(op Op) bool {
+	switch op {
+	case SEXTB, SEXTW, ITOF, FTOI, CVTQT, CVTTQ, SQRTT:
+		return true
+	}
+	return false
+}

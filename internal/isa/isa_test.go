@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); int(op) < NumOps; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Fatalf("opcode %d has no table entry", op)
+		}
+		if prev, dup := seen[info.Name]; dup {
+			t.Fatalf("mnemonic %q used by both %d and %d", info.Name, prev, op)
+		}
+		seen[info.Name] = op
+		back, ok := OpByName(info.Name)
+		if !ok || back != op {
+			t.Fatalf("OpByName(%q) = %v,%v; want %v,true", info.Name, back, ok, op)
+		}
+	}
+}
+
+func TestRegNaming(t *testing.T) {
+	if R(0).String() != "r0" || R(31).String() != "r31" {
+		t.Errorf("integer register naming broken: %s %s", R(0), R(31))
+	}
+	if F(0).String() != "f0" || F(31).String() != "f31" {
+		t.Errorf("fp register naming broken: %s %s", F(0), F(31))
+	}
+	if !F(5).IsFP() || R(5).IsFP() {
+		t.Error("IsFP misclassifies registers")
+	}
+	if !ZeroReg.IsZero() || !FZeroReg.IsZero() || R(3).IsZero() {
+		t.Error("IsZero misclassifies registers")
+	}
+}
+
+func TestRegBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("R(32) did not panic")
+		}
+	}()
+	_ = R(32)
+}
+
+func TestSrcsAndDest(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		s1, s2 Reg
+		dest   Reg
+	}{
+		{Inst{Op: ADD, Ra: R(1), Rb: R(2), Rc: R(3)}, R(1), R(2), R(3)},
+		{Inst{Op: ADD, Ra: R(1), Imm: 7, UseImm: true, Rc: R(3)}, R(1), NoReg, R(3)},
+		{Inst{Op: ADD, Ra: ZeroReg, Rb: R(2), Rc: ZeroReg}, NoReg, R(2), NoReg},
+		{Inst{Op: MOVI, Rc: R(9), Imm: 42}, NoReg, NoReg, R(9)},
+		{Inst{Op: LDQ, Ra: R(4), Rc: R(5), Imm: 16}, R(4), NoReg, R(5)},
+		{Inst{Op: STQ, Ra: R(4), Rb: R(6), Imm: 16}, R(4), R(6), NoReg},
+		{Inst{Op: BEQ, Ra: R(7), Imm: 0x1000}, R(7), NoReg, NoReg},
+		{Inst{Op: BR, Imm: 0x1000, Rc: NoReg}, NoReg, NoReg, NoReg},
+		{Inst{Op: BR, Imm: 0x1000, Rc: RA}, NoReg, NoReg, RA},
+		{Inst{Op: JSR, Rb: R(8), Rc: RA}, R(8), NoReg, RA},
+		{Inst{Op: RET, Rb: RA}, RA, NoReg, NoReg},
+		{Inst{Op: ADDT, Ra: F(1), Rb: F(2), Rc: F(3)}, F(1), F(2), F(3)},
+		{Inst{Op: SQRTT, Ra: F(1), Rc: F(3)}, F(1), NoReg, F(3)},
+		{Inst{Op: STT, Ra: R(4), Rb: F(6), Imm: 8}, R(4), F(6), NoReg},
+		{Inst{Op: FBNE, Ra: F(2), Imm: 0x2000}, F(2), NoReg, NoReg},
+		{Inst{Op: HALT}, NoReg, NoReg, NoReg},
+		{Inst{Op: OUT, Ra: R(2)}, R(2), NoReg, NoReg},
+		{Inst{Op: NOP}, NoReg, NoReg, NoReg},
+	}
+	for _, c := range cases {
+		s1, s2 := c.in.Srcs()
+		if s1 != c.s1 || s2 != c.s2 {
+			t.Errorf("%v: Srcs() = %v,%v; want %v,%v", c.in, s1, s2, c.s1, c.s2)
+		}
+		if d := c.in.Dest(); d != c.dest {
+			t.Errorf("%v: Dest() = %v; want %v", c.in, d, c.dest)
+		}
+	}
+}
+
+func TestNumSrcs(t *testing.T) {
+	if n := (Inst{Op: ADD, Ra: R(1), Rb: R(2), Rc: R(3)}).NumSrcs(); n != 2 {
+		t.Errorf("NumSrcs = %d, want 2", n)
+	}
+	if n := (Inst{Op: MOVI, Rc: R(1)}).NumSrcs(); n != 0 {
+		t.Errorf("NumSrcs = %d, want 0", n)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !LDQ.Class().IsLoad() || !LDQ.Class().IsMem() || LDQ.Class().IsStore() {
+		t.Error("LDQ class predicates wrong")
+	}
+	if !STT.Class().IsStore() || !STT.Class().IsMem() {
+		t.Error("STT class predicates wrong")
+	}
+	if !BEQ.Class().IsControl() || !RET.Class().IsControl() || ADD.Class().IsControl() {
+		t.Error("control predicates wrong")
+	}
+	if !(Inst{Op: JMP, Rb: R(1)}).IsIndirect() || (Inst{Op: BR}).IsIndirect() {
+		t.Error("IsIndirect wrong")
+	}
+	if !(Inst{Op: BNE, Ra: R(1)}).IsCond() || (Inst{Op: BR}).IsCond() {
+		t.Error("IsCond wrong")
+	}
+}
+
+// randomCanonInst builds a random but well-formed instruction and returns its
+// canonical form.
+func randomCanonInst(r *rand.Rand) Inst {
+	op := Op(r.Intn(NumOps))
+	in := Inst{
+		Op:     op,
+		Ra:     Reg(r.Intn(NumRegs)),
+		Rb:     Reg(r.Intn(NumRegs)),
+		Rc:     Reg(r.Intn(NumRegs)),
+		Imm:    int64(int32(r.Uint32())),
+		UseImm: r.Intn(2) == 0,
+	}
+	return in.Canon()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for k := 0; k < 32; k++ {
+			in := randomCanonInst(r)
+			w := in.Encode()
+			out, err := Decode(w)
+			if err != nil {
+				t.Logf("decode error for %v: %v", in, err)
+				return false
+			}
+			if out != in {
+				t.Logf("round trip mismatch: in=%+v out=%+v", in, out)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint64(NumOps) + 5); err == nil {
+		t.Error("Decode accepted undefined opcode")
+	}
+}
+
+func TestEncodePanicsOnHugeImm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode did not panic on out-of-range immediate")
+		}
+	}()
+	_ = Inst{Op: MOVI, Rc: R(1), Imm: 1 << 40}.Encode()
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3": {Op: ADD, Ra: R(1), Rb: R(2), Rc: R(3)},
+		"add r1, 5, r3":  {Op: ADD, Ra: R(1), Imm: 5, UseImm: true, Rc: R(3)},
+		"movi r9, 42":    {Op: MOVI, Rc: R(9), Imm: 42},
+		"ldq r5, 16(r4)": {Op: LDQ, Ra: R(4), Rc: R(5), Imm: 16},
+		"stq r6, 16(r4)": {Op: STQ, Ra: R(4), Rb: R(6), Imm: 16},
+		"beq r7, 0x1000": {Op: BEQ, Ra: R(7), Imm: 0x1000},
+		"jsr r26, (r8)":  {Op: JSR, Rb: R(8), Rc: RA},
+		"ret (r26)":      {Op: RET, Rb: RA},
+		"sqrtt f1, f3":   {Op: SQRTT, Ra: F(1), Rc: F(3)},
+		"stt f6, 8(r4)":  {Op: STT, Ra: R(4), Rb: F(6), Imm: 8},
+		"halt":           {Op: HALT},
+		"out r2":         {Op: OUT, Ra: R(2)},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestProgramInstAt(t *testing.T) {
+	p := &Program{
+		TextBase: DefaultTextBase,
+		Text: []Inst{
+			{Op: MOVI, Rc: R(1), Imm: 1},
+			{Op: HALT},
+		},
+	}
+	if in, ok := p.InstAt(DefaultTextBase); !ok || in.Op != MOVI {
+		t.Errorf("InstAt(base) = %v,%v", in, ok)
+	}
+	if in, ok := p.InstAt(DefaultTextBase + 4); !ok || in.Op != HALT {
+		t.Errorf("InstAt(base+4) = %v,%v", in, ok)
+	}
+	if _, ok := p.InstAt(DefaultTextBase + 8); ok {
+		t.Error("InstAt past end succeeded")
+	}
+	if _, ok := p.InstAt(DefaultTextBase + 2); ok {
+		t.Error("InstAt misaligned succeeded")
+	}
+	if _, ok := p.InstAt(DefaultTextBase - 4); ok {
+		t.Error("InstAt below base succeeded")
+	}
+	if got := p.TextEnd(); got != DefaultTextBase+8 {
+		t.Errorf("TextEnd = %#x", got)
+	}
+}
+
+func TestProgramSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := &Program{
+		TextBase: DefaultTextBase,
+		DataBase: DefaultDataBase,
+		Entry:    DefaultTextBase + 8,
+		Data:     []byte{1, 2, 3, 4, 5},
+	}
+	for i := 0; i < 100; i++ {
+		p.Text = append(p.Text, randomCanonInst(r))
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.TextBase != p.TextBase || q.DataBase != p.DataBase || q.Entry != p.Entry {
+		t.Error("header fields did not round trip")
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text length %d != %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Fatalf("text[%d]: %+v != %+v", i, q.Text[i], p.Text[i])
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Error("data did not round trip")
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	p := &Program{Symbols: map[string]uint64{"b": 8, "a": 4, "c": 4}}
+	got := p.SortedSymbols()
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedSymbols = %v, want %v", got, want)
+		}
+	}
+	if name, ok := p.SymbolFor(8); !ok || name != "b" {
+		t.Errorf("SymbolFor(8) = %q,%v", name, ok)
+	}
+}

@@ -1,0 +1,111 @@
+// Package pipeline is the cycle-level timing model of the clustered trace
+// cache processor. It consumes the committed instruction stream produced by
+// the functional emulator (the paper's sim-fast interface), models the
+// front end (trace cache + instruction cache fetch, hybrid branch
+// prediction, decode/rename), slot-based or issue-time cluster steering,
+// per-cluster reservation stations and special-purpose functional units,
+// distance-dependent inter-cluster data forwarding, the data-memory system
+// (store buffer with load forwarding, conservative load disambiguation,
+// nonblocking caches), and in-order retirement feeding the fill unit.
+package pipeline
+
+import (
+	"ctcp/internal/bpred"
+	"ctcp/internal/cachesim"
+	"ctcp/internal/cluster"
+	"ctcp/internal/core"
+	"ctcp/internal/trace"
+)
+
+// Config collects every architectural parameter of Table 7 plus the latency
+// experiment knobs of Figure 5.
+type Config struct {
+	Strategy core.StrategyKind
+	// DisableChains ablates FDRT's inter-trace chain feedback (§5.3).
+	DisableChains bool
+	Geom          cluster.Geometry
+	RS            cluster.RSConfig
+
+	ROBSize     int
+	FetchWidth  int // also decode/rename/retire width (Table 7: 16)
+	RetireWidth int
+
+	FetchStages  int // trace cache / icache access depth (3)
+	DecodeStages int
+	RenameStages int
+	// SteerStages is the extra issue-time dependency-analysis/steering/
+	// routing latency charged when Strategy.SteersAtIssue() (0 = ideal,
+	// 4 = realistic; §2.3).
+	SteerStages int
+	RFLat       int // register file read latency (2)
+
+	Trace trace.Config
+	BP    bpred.Config
+	Mem   cachesim.HierarchyConfig
+
+	ICache        cachesim.Config
+	ICacheMissLat int // extra fetch cycles on an L1I miss (unified L2 service)
+	BTBMissBubble int // fetch bubble when a taken branch misses the BTB
+
+	StoreBuffer int // entries (32)
+	LoadQueue   int // entries (32)
+
+	// Figure 5 latency-removal experiment knobs.
+	ZeroAllFwdLat  bool // all data forwarding is same-cycle
+	ZeroCritFwdLat bool // only the last-arriving (critical) forward is free
+	ZeroIntraTrace bool // intra-trace (same fetch group) forwards are free
+	ZeroInterTrace bool // inter-trace forwards are free
+	// MaxInsts bounds the committed instructions consumed (0 = run the
+	// stream dry).
+	MaxInsts uint64
+	// TraceCycles records a per-cycle occupancy snapshot for the first N
+	// active cycles into Stats.PipeTrace (0 = disabled); a debugging and
+	// teaching aid exposed through ctcpsim -pipetrace.
+	TraceCycles int
+}
+
+// DefaultConfig returns the paper's baseline CTCP (Table 7): 16-wide, four
+// four-wide clusters on a chain interconnect with 2-cycle hops.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:     core.Base,
+		Geom:         cluster.DefaultGeometry(),
+		RS:           cluster.DefaultRSConfig(),
+		ROBSize:      128,
+		FetchWidth:   16,
+		RetireWidth:  16,
+		FetchStages:  3,
+		DecodeStages: 1,
+		RenameStages: 1,
+		SteerStages:  0,
+		RFLat:        2,
+		Trace:        trace.DefaultConfig(),
+		BP:           bpred.Default(),
+		Mem:          cachesim.DefaultHierarchy(),
+		ICache: cachesim.Config{
+			Name: "L1I", Sets: 4 * cachesim.KB / 64 / 4, Ways: 4, LineSize: 64,
+		},
+		ICacheMissLat: 8,
+		BTBMissBubble: 2,
+		StoreBuffer:   32,
+		LoadQueue:     32,
+	}
+}
+
+// WithStrategy returns a copy configured for the given strategy, charging
+// the realistic steering latency for issue-time steering unless idealLatency
+// is requested.
+func (c Config) WithStrategy(k core.StrategyKind, idealIssueLatency bool) Config {
+	c.Strategy = k
+	if k.SteersAtIssue() && !idealIssueLatency {
+		// Four cycles of dependency analysis, steering and routing for a
+		// 16-wide machine; halved for the 8-wide two-cluster variant.
+		c.SteerStages = 4
+		if c.Geom.TotalWidth() <= 8 {
+			c.SteerStages = 2
+		}
+	} else {
+		c.SteerStages = 0
+	}
+	return c
+}

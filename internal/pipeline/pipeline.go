@@ -1,0 +1,993 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"ctcp/internal/bpred"
+	"ctcp/internal/cachesim"
+	"ctcp/internal/cluster"
+	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+	"ctcp/internal/trace"
+)
+
+const unknown = int64(-1)
+
+// inflight is one instruction between fetch and retirement.
+type inflight struct {
+	rec     emu.Committed
+	fromTC  bool
+	group   uint64 // fetch-group (trace instance) identity
+	cluster int    // execution cluster (-1 until steered)
+	station cluster.RSKind
+	profile trace.Profile
+
+	renameReady   int64 // earliest rename cycle (fetch + decode done)
+	dispatchReady int64
+	rfReady       int64
+	inRS          bool
+	issued        bool
+	resultAt      int64 // cycle the result is available in its own cluster
+	doneAt        int64 // retirement eligibility
+	retired       bool
+
+	src       [2]isa.Reg
+	prod      [2]*inflight
+	prevStore *inflight
+	isLoad    bool
+	isStore   bool
+
+	mispredict bool
+
+	critSrc       core.CritSrc
+	critForwarded bool
+	critProd      *inflight
+}
+
+// Pipeline is the cycle-level CTCP model.
+type Pipeline struct {
+	cfg  Config
+	geom cluster.Geometry
+
+	bp     *bpred.Predictor
+	tc     *trace.Cache
+	fill   *core.FillUnit
+	icache *cachesim.Cache
+	mem    *cachesim.Hierarchy
+
+	stream     emu.Stream
+	peeked     *emu.Committed
+	streamDone bool
+
+	now int64
+
+	rob    []*inflight // program order; index 0 is oldest
+	fetchQ []*inflight
+
+	dispatchQ [][]*inflight // per-cluster in-order queues (slot-based)
+	steerQ    []*inflight   // global in-order queue (issue-time steering)
+
+	rsEntries [][]*inflight // per-cluster, age-ordered
+	rsCount   [][]int       // per-cluster per-station occupancy
+	fuFree    [][]int64     // per-cluster per-FU next-free cycle
+
+	renameMap  [isa.NumRegs]*inflight
+	lastStore  *inflight
+	loadsInROB int
+
+	sbDrain   []int64 // store buffer: drain completion times
+	lastDrain int64
+	portUse   map[int64]int
+
+	pendingRedirect *inflight
+	nextFetch       int64
+	btbBubble       int64
+	groupSeq        uint64
+
+	lastProd          map[uint64][2]uint64
+	lastCritInterProd map[uint64][2]uint64
+
+	lastRetireCycle int64
+
+	S Stats
+}
+
+// New builds a pipeline reading committed instructions from stream.
+func New(stream emu.Stream, cfg Config) *Pipeline {
+	g := cfg.Geom
+	p := &Pipeline{
+		cfg:               cfg,
+		geom:              g,
+		bp:                bpred.New(cfg.BP),
+		tc:                trace.NewCache(cfg.Trace),
+		icache:            cachesim.New(cfg.ICache),
+		mem:               cachesim.NewHierarchy(cfg.Mem),
+		stream:            stream,
+		portUse:           make(map[int64]int),
+		lastProd:          make(map[uint64][2]uint64),
+		lastCritInterProd: make(map[uint64][2]uint64),
+		lastDrain:         -1,
+	}
+	p.fill = core.NewFillUnit(core.Config{
+		Strategy:      cfg.Strategy,
+		DisableChains: cfg.DisableChains,
+		Geom:          g,
+		Trace:         cfg.Trace,
+	}, p.tc)
+	p.dispatchQ = make([][]*inflight, g.Clusters)
+	p.rsEntries = make([][]*inflight, g.Clusters)
+	p.rsCount = make([][]int, g.Clusters)
+	p.fuFree = make([][]int64, g.Clusters)
+	for c := 0; c < g.Clusters; c++ {
+		p.rsCount[c] = make([]int, cluster.NumRSKinds)
+		p.fuFree[c] = make([]int64, cluster.NumFUKinds)
+	}
+	return p
+}
+
+// FillUnit exposes the fill unit (tests and experiments read its stats).
+func (p *Pipeline) FillUnit() *core.FillUnit { return p.fill }
+
+// Run drives the model until the stream is exhausted and the machine drains,
+// then returns the collected statistics.
+func (p *Pipeline) Run() *Stats {
+	if p.cfg.MaxInsts != 0 {
+		p.stream = &emu.LimitStream{S: p.stream, Budget: p.cfg.MaxInsts}
+	}
+	for !p.done() {
+		worked := p.cycle()
+		if worked && len(p.S.PipeTrace) < p.cfg.TraceCycles {
+			p.S.PipeTrace = append(p.S.PipeTrace, p.snapshot())
+		}
+		if worked {
+			p.now++
+		} else {
+			p.now = p.nextEvent()
+		}
+		if p.now-p.lastRetireCycle > 2_000_000 {
+			panic(fmt.Sprintf("pipeline: no retirement progress near cycle %d (rob=%d fetchQ=%d)",
+				p.now, len(p.rob), len(p.fetchQ)))
+		}
+	}
+	p.fill.Flush()
+	p.S.Cycles = p.now
+	p.S.BP = p.bp.S
+	p.S.TC = p.tc.S
+	p.S.Fill = p.fill.S
+	return &p.S
+}
+
+func (p *Pipeline) done() bool {
+	return p.streamDone && len(p.rob) == 0 && len(p.fetchQ) == 0
+}
+
+// cycle runs one machine cycle; it reports whether any state changed (used
+// to fast-forward through idle periods).
+func (p *Pipeline) cycle() bool {
+	worked := false
+	if p.retire() {
+		worked = true
+	}
+	p.clearRedirect()
+	if p.issue() {
+		worked = true
+	}
+	if p.dispatch() {
+		worked = true
+	}
+	if p.rename() {
+		worked = true
+	}
+	if p.fetch() {
+		worked = true
+	}
+	return worked
+}
+
+// nextEvent returns the earliest future cycle at which anything can happen.
+func (p *Pipeline) nextEvent() int64 {
+	best := int64(1 << 62)
+	consider := func(t int64) {
+		if t > p.now && t < best {
+			best = t
+		}
+	}
+	for _, inf := range p.rob {
+		if inf.issued && !inf.retired {
+			consider(inf.doneAt)
+		}
+	}
+	for c := range p.rsEntries {
+		for _, inf := range p.rsEntries[c] {
+			if t, _, _, _ := p.readiness(inf); t != unknown {
+				consider(t)
+			}
+		}
+	}
+	if len(p.fetchQ) > 0 {
+		consider(p.fetchQ[0].renameReady)
+	}
+	for c := range p.dispatchQ {
+		if len(p.dispatchQ[c]) > 0 {
+			consider(p.dispatchQ[c][0].dispatchReady)
+		}
+	}
+	if len(p.steerQ) > 0 {
+		consider(p.steerQ[0].dispatchReady)
+	}
+	if p.pendingRedirect == nil && !p.streamDone {
+		consider(p.nextFetch)
+	}
+	if best == int64(1<<62) {
+		return p.now + 1
+	}
+	return best
+}
+
+// --- stream helpers ---
+
+func (p *Pipeline) peek() *emu.Committed {
+	if p.peeked != nil {
+		return p.peeked
+	}
+	if p.streamDone {
+		return nil
+	}
+	rec, ok := p.stream.Next()
+	if !ok {
+		p.streamDone = true
+		return nil
+	}
+	p.peeked = &rec
+	return p.peeked
+}
+
+func (p *Pipeline) take() emu.Committed {
+	rec := *p.peeked
+	p.peeked = nil
+	return rec
+}
+
+// --- fetch ---
+
+func (p *Pipeline) fetch() bool {
+	if p.pendingRedirect != nil || p.now < p.nextFetch {
+		return false
+	}
+	if len(p.fetchQ) >= 2*p.cfg.FetchWidth {
+		return false
+	}
+	first := p.peek()
+	if first == nil {
+		return false
+	}
+	pc := first.PC
+	group := p.groupSeq
+	p.groupSeq++
+	fetchLat := int64(p.cfg.FetchStages)
+	var consumed []*inflight
+
+	if tr := p.tc.Lookup(pc, p.bp.PredictCond); tr != nil {
+		p.S.TCGroups++
+		for i := range tr.Slots {
+			s := &tr.Slots[i]
+			r := p.peek()
+			if r == nil || r.PC != s.PC {
+				break // stream diverged (only possible after a redirect cut)
+			}
+			inf := p.newInflight(p.take(), true, group, s.Cluster, s.Profile)
+			consumed = append(consumed, inf)
+			if p.handleControl(inf, true) {
+				break
+			}
+		}
+		p.S.TCGroupInsts += uint64(len(consumed))
+	} else {
+		p.S.ICGroups++
+		if !p.icache.Access(pc) {
+			p.S.ICacheMisses++
+			fetchLat += int64(p.cfg.ICacheMissLat)
+		}
+		lineEnd := (pc | uint64(p.cfg.ICache.LineSize-1)) + 1
+		expect := pc
+		for len(consumed) < p.cfg.FetchWidth {
+			r := p.peek()
+			if r == nil || r.PC != expect || r.PC >= lineEnd {
+				break
+			}
+			slot := len(consumed)
+			inf := p.newInflight(p.take(), false, group, p.geom.SlotCluster(slot), trace.Profile{})
+			consumed = append(consumed, inf)
+			if p.handleControl(inf, false) {
+				break
+			}
+			if inf.rec.IsTakenControl() {
+				break // conventional fetch cannot pass a taken branch
+			}
+			expect = inf.rec.NextPC
+		}
+		p.S.ICGroupInsts += uint64(len(consumed))
+	}
+	if len(consumed) == 0 {
+		// Defensive: should not happen (the first record always matches).
+		p.nextFetch = p.now + 1
+		return false
+	}
+	for _, inf := range consumed {
+		inf.renameReady = p.now + fetchLat + int64(p.cfg.DecodeStages)
+		p.fetchQ = append(p.fetchQ, inf)
+	}
+	p.nextFetch = p.now + 1 + p.btbBubble
+	p.btbBubble = 0
+	return true
+}
+
+func (p *Pipeline) newInflight(rec emu.Committed, fromTC bool, group uint64, cl int, prof trace.Profile) *inflight {
+	inf := &inflight{
+		rec:      rec,
+		fromTC:   fromTC,
+		group:    group,
+		cluster:  cl,
+		profile:  prof,
+		resultAt: unknown,
+		doneAt:   unknown,
+	}
+	if p.cfg.Strategy.SteersAtIssue() {
+		inf.cluster = -1
+	}
+	class := rec.Inst.Op.Class()
+	inf.isLoad = class.IsLoad()
+	inf.isStore = class.IsStore()
+	return inf
+}
+
+// handleControl performs fetch-time prediction bookkeeping for a just-
+// consumed control instruction and reports whether the fetch group must stop
+// (misprediction or unpredictable target).
+func (p *Pipeline) handleControl(inf *inflight, fromTC bool) bool {
+	in := inf.rec.Inst
+	if !in.IsControl() {
+		return false
+	}
+	switch {
+	case in.IsCond():
+		p.S.CondBranches++
+		_, correct := p.bp.PredictAndTrainCond(inf.rec.PC, inf.rec.Taken)
+		if !correct {
+			p.S.Mispredicts++
+			inf.mispredict = true
+			p.pendingRedirect = inf
+			return true
+		}
+		if inf.rec.Taken && !fromTC {
+			// Conventional fetch needs the BTB for the taken target.
+			if _, hit := p.bp.BTBLookup(inf.rec.PC); !hit {
+				p.S.BTBBubbles++
+				p.btbBubble = int64(p.cfg.BTBMissBubble)
+			}
+			p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+		}
+	case in.Op == isa.BR:
+		if !fromTC {
+			if _, hit := p.bp.BTBLookup(inf.rec.PC); !hit {
+				p.S.BTBBubbles++
+				p.btbBubble = int64(p.cfg.BTBMissBubble)
+			}
+			p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+		}
+	case in.Op == isa.JSR || in.Op == isa.JMP:
+		target, hit := p.bp.BTBLookup(inf.rec.PC)
+		p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+		if in.Op == isa.JSR {
+			p.bp.PushReturn(inf.rec.PC + isa.PCStride)
+		}
+		if !hit || target != inf.rec.NextPC {
+			p.S.IndirectMiss++
+			inf.mispredict = true
+			p.pendingRedirect = inf
+			return true
+		}
+	case in.Op == isa.RET:
+		target, ok := p.bp.PredictReturn()
+		if !ok || target != inf.rec.NextPC {
+			p.S.IndirectMiss++
+			inf.mispredict = true
+			p.pendingRedirect = inf
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pipeline) clearRedirect() {
+	if r := p.pendingRedirect; r != nil && r.issued && r.doneAt <= p.now {
+		p.pendingRedirect = nil
+		if next := p.now + 1; next > p.nextFetch {
+			p.nextFetch = next
+		}
+		p.S.FetchRedirects++
+	}
+}
+
+// --- rename ---
+
+func (p *Pipeline) rename() bool {
+	budget := p.cfg.FetchWidth
+	worked := false
+	for budget > 0 && len(p.fetchQ) > 0 {
+		inf := p.fetchQ[0]
+		if inf.renameReady > p.now {
+			break
+		}
+		if len(p.rob) >= p.cfg.ROBSize {
+			p.S.ROBFullStalls++
+			break
+		}
+		if inf.isLoad && p.loadsInROB >= p.cfg.LoadQueue {
+			p.S.LoadQFullStalls++
+			break
+		}
+		s1, s2 := inf.rec.Inst.Srcs()
+		inf.src = [2]isa.Reg{s1, s2}
+		for k, r := range inf.src {
+			if r == isa.NoReg {
+				continue
+			}
+			// A value whose producer has already completed by rename time is
+			// read from the register file; only still-in-flight results are
+			// caught from the bypass/forwarding network.
+			if prod := p.renameMap[r]; prod != nil && !prod.retired &&
+				(prod.resultAt == unknown || prod.resultAt > p.now) {
+				inf.prod[k] = prod
+			}
+		}
+		inf.rfReady = p.now + int64(p.cfg.RenameStages+p.cfg.RFLat)
+		inf.dispatchReady = p.now + int64(p.cfg.RenameStages+p.cfg.SteerStages)
+		if d := inf.rec.Inst.Dest(); d != isa.NoReg {
+			p.renameMap[d] = inf
+		}
+		inf.prevStore = p.lastStore
+		if inf.isStore {
+			p.lastStore = inf
+		}
+		if inf.isLoad {
+			p.loadsInROB++
+		}
+		p.rob = append(p.rob, inf)
+		p.fetchQ = p.fetchQ[1:]
+		if p.cfg.Strategy.SteersAtIssue() {
+			p.steerQ = append(p.steerQ, inf)
+		} else {
+			p.dispatchQ[inf.cluster] = append(p.dispatchQ[inf.cluster], inf)
+		}
+		budget--
+		worked = true
+	}
+	return worked
+}
+
+// --- dispatch (into reservation stations) ---
+
+func (p *Pipeline) dispatch() bool {
+	worked := false
+	writeUsed := make([][]int, p.geom.Clusters)
+	for c := range writeUsed {
+		writeUsed[c] = make([]int, cluster.NumRSKinds)
+	}
+	if p.cfg.Strategy.SteersAtIssue() {
+		budget := p.geom.TotalWidth()
+		clusterBudget := make([]int, p.geom.Clusters)
+		for c := range clusterBudget {
+			clusterBudget[c] = p.geom.Width
+		}
+		// Scan the steering window in age order; an instruction whose target
+		// cluster is saturated does not block younger instructions bound for
+		// other clusters.
+		kept := p.steerQ[:0]
+		scanned := 0
+		for i, inf := range p.steerQ {
+			if budget <= 0 || inf.dispatchReady > p.now || scanned >= 2*p.geom.TotalWidth() {
+				kept = append(kept, p.steerQ[i:]...)
+				break
+			}
+			scanned++
+			c := p.steerTarget(inf, clusterBudget, writeUsed)
+			if c >= 0 {
+				inf.cluster = c
+				if p.insertRS(inf, c, writeUsed) {
+					clusterBudget[c]--
+					budget--
+					worked = true
+					continue
+				}
+				inf.cluster = -1
+			}
+			kept = append(kept, inf)
+		}
+		p.steerQ = kept
+		return worked
+	}
+	for c := 0; c < p.geom.Clusters; c++ {
+		n := 0
+		for n < p.geom.Width && len(p.dispatchQ[c]) > 0 {
+			inf := p.dispatchQ[c][0]
+			if inf.dispatchReady > p.now {
+				break
+			}
+			if !p.insertRS(inf, c, writeUsed) {
+				break
+			}
+			p.dispatchQ[c] = p.dispatchQ[c][1:]
+			n++
+			worked = true
+		}
+	}
+	return worked
+}
+
+// steerTarget implements issue-time steering: send the instruction to the
+// cluster generating one of its in-flight inputs (preferring the input
+// expected to arrive last), else balance load; at most Width instructions
+// per cluster per cycle.
+func (p *Pipeline) steerTarget(inf *inflight, clusterBudget []int, writeUsed [][]int) int {
+	usable := func(c int) bool {
+		if c < 0 || c >= p.geom.Clusters || clusterBudget[c] <= 0 {
+			return false
+		}
+		for _, st := range cluster.StationsFor(inf.rec.Inst.Op.Class()) {
+			if p.rsCount[c][st] < p.cfg.RS.Entries && writeUsed[c][st] < p.cfg.RS.WritePorts {
+				return true
+			}
+		}
+		return false
+	}
+	// Prefer the producer whose value arrives later (the likely critical
+	// input); both producers' clusters are known because dispatch is
+	// in order.
+	best := -1
+	var bestTime int64 = -1
+	for k := 0; k < 2; k++ {
+		prod := inf.prod[k]
+		if prod == nil || prod.retired || prod.cluster < 0 {
+			continue
+		}
+		t := prod.resultAt
+		if t == unknown {
+			t = 1 << 60 // not yet issued: latest of all
+		}
+		if t > bestTime {
+			bestTime = t
+			best = prod.cluster
+		}
+	}
+	if best >= 0 && usable(best) {
+		return best
+	}
+	// Fall back: least-occupied usable cluster.
+	target, bestOcc := -1, 1<<30
+	for c := 0; c < p.geom.Clusters; c++ {
+		if !usable(c) {
+			continue
+		}
+		occ := 0
+		for st := 0; st < int(cluster.NumRSKinds); st++ {
+			occ += p.rsCount[c][st]
+		}
+		if occ < bestOcc {
+			bestOcc, target = occ, c
+		}
+	}
+	return target
+}
+
+func (p *Pipeline) insertRS(inf *inflight, c int, writeUsed [][]int) bool {
+	stations := cluster.StationsFor(inf.rec.Inst.Op.Class())
+	best := cluster.RSKind(-1)
+	bestCount := 1 << 30
+	for _, st := range stations {
+		if p.rsCount[c][st] >= p.cfg.RS.Entries || writeUsed[c][st] >= p.cfg.RS.WritePorts {
+			continue
+		}
+		if p.rsCount[c][st] < bestCount {
+			bestCount = p.rsCount[c][st]
+			best = st
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	inf.station = best
+	inf.inRS = true
+	p.rsCount[c][best]++
+	writeUsed[c][best]++
+	p.rsEntries[c] = append(p.rsEntries[c], inf)
+	return true
+}
+
+// --- issue / execute ---
+
+// effFwd returns the forwarding latency from producer to consumer with the
+// Figure 5 knobs applied.
+func (p *Pipeline) effFwd(prod, cons *inflight) int64 {
+	if p.cfg.ZeroAllFwdLat {
+		return 0
+	}
+	same := prod.group == cons.group
+	if p.cfg.ZeroIntraTrace && same {
+		return 0
+	}
+	if p.cfg.ZeroInterTrace && !same {
+		return 0
+	}
+	return int64(p.geom.ForwardLat(prod.cluster, cons.cluster))
+}
+
+// readiness computes when inf's operands are all available in its cluster.
+// It returns the ready cycle (or unknown), the critical source, whether the
+// critical input is forwarded, and the critical producer.
+func (p *Pipeline) readiness(inf *inflight) (int64, core.CritSrc, bool, *inflight) {
+	var t [2]int64
+	var fwd [2]bool
+	present := [2]bool{inf.src[0] != isa.NoReg, inf.src[1] != isa.NoReg}
+	for k := 0; k < 2; k++ {
+		if !present[k] {
+			t[k] = 0
+			continue
+		}
+		prod := inf.prod[k]
+		if prod == nil {
+			t[k] = inf.rfReady
+			continue
+		}
+		if prod.resultAt == unknown {
+			return unknown, core.CritNone, false, nil
+		}
+		t[k] = prod.resultAt + p.effFwd(prod, inf)
+		fwd[k] = true
+	}
+	if inf.isLoad {
+		// Conservative disambiguation: every older store's address must be
+		// known (issued or retired) before the load may access memory.
+		for st := inf.prevStore; st != nil && !st.retired; st = st.prevStore {
+			if !st.issued {
+				return unknown, core.CritNone, false, nil
+			}
+		}
+	}
+	// Identify the critical (last-arriving) input.
+	crit := core.CritNone
+	switch {
+	case present[0] && present[1]:
+		if t[1] > t[0] {
+			crit = core.CritRS2
+		} else {
+			crit = core.CritRS1
+		}
+	case present[0]:
+		crit = core.CritRS1
+	case present[1]:
+		crit = core.CritRS2
+	}
+	ready := maxI64(t[0], t[1])
+	critFwd := false
+	var critProd *inflight
+	if crit != core.CritNone {
+		k := int(crit) - 1
+		critFwd = fwd[k]
+		critProd = inf.prod[k]
+		if critFwd && p.cfg.ZeroCritFwdLat {
+			// Only the last-arriving forward becomes free.
+			other := t[1-k]
+			if !present[1-k] {
+				other = 0
+			}
+			ready = maxI64(other, critProd.resultAt)
+		}
+	}
+	return ready, crit, critFwd, critProd
+}
+
+func (p *Pipeline) freeFU(c int, class isa.Class) cluster.FUKind {
+	for _, fu := range cluster.UnitsFor(class) {
+		if p.fuFree[c][fu] <= p.now {
+			return fu
+		}
+	}
+	return cluster.FUKind(-1)
+}
+
+func (p *Pipeline) issue() bool {
+	worked := false
+	for c := 0; c < p.geom.Clusters; c++ {
+		entries := p.rsEntries[c]
+		issuedAny := false
+		for _, inf := range entries {
+			ready, crit, critFwd, critProd := p.readiness(inf)
+			if ready == unknown || ready > p.now {
+				continue
+			}
+			class := inf.rec.Inst.Op.Class()
+			fu := p.freeFU(c, class)
+			if fu < 0 {
+				continue
+			}
+			p.doIssue(inf, c, fu, crit, critFwd, critProd)
+			issuedAny = true
+			worked = true
+		}
+		if issuedAny {
+			keep := entries[:0]
+			for _, inf := range entries {
+				if !inf.issued {
+					keep = append(keep, inf)
+				}
+			}
+			p.rsEntries[c] = keep
+		}
+	}
+	return worked
+}
+
+func (p *Pipeline) doIssue(inf *inflight, c int, fu cluster.FUKind, crit core.CritSrc, critFwd bool, critProd *inflight) {
+	class := inf.rec.Inst.Op.Class()
+	lat := cluster.LatencyFor(class)
+	inf.issued = true
+	inf.inRS = false
+	p.rsCount[c][inf.station]--
+	p.fuFree[c][fu] = p.now + int64(lat.Issue)
+
+	inf.critSrc = crit
+	inf.critForwarded = critFwd
+	if critFwd {
+		inf.critProd = critProd
+	}
+	p.recordInputStats(inf)
+
+	switch {
+	case inf.isLoad:
+		p.S.Loads++
+		addrDone := p.now + int64(lat.Exec)
+		barrier := addrDone
+		var fwdStore *inflight
+		for st := inf.prevStore; st != nil; st = st.prevStore {
+			if st.retired {
+				break
+			}
+			if st.resultAt > barrier {
+				barrier = st.resultAt
+			}
+			if fwdStore == nil && overlaps(st.rec, inf.rec) {
+				fwdStore = st
+			}
+		}
+		if fwdStore != nil {
+			p.S.StoreForwards++
+			inf.resultAt = maxI64(barrier, fwdStore.resultAt) + 1
+		} else {
+			start := p.portTime(barrier)
+			inf.resultAt = p.mem.Access(start, inf.rec.EA)
+		}
+		inf.doneAt = inf.resultAt
+	case inf.isStore:
+		p.S.Stores++
+		inf.resultAt = p.now + int64(lat.Exec)
+		inf.doneAt = inf.resultAt
+	default:
+		inf.resultAt = p.now + int64(lat.Exec)
+		inf.doneAt = inf.resultAt
+	}
+}
+
+func overlaps(store, load emu.Committed) bool {
+	sEnd := store.EA + uint64(store.Size)
+	lEnd := load.EA + uint64(load.Size)
+	return store.EA < lEnd && load.EA < sEnd
+}
+
+// portTime books a data-cache port at or after t and returns the cycle used.
+func (p *Pipeline) portTime(t int64) int64 {
+	if t <= p.now {
+		t = p.now
+	}
+	for p.portUse[t] >= p.cfg.Mem.Ports {
+		t++
+	}
+	p.portUse[t]++
+	if len(p.portUse) > 8192 {
+		for k := range p.portUse {
+			if k < p.now {
+				delete(p.portUse, k)
+			}
+		}
+	}
+	return t
+}
+
+func (p *Pipeline) recordInputStats(inf *inflight) {
+	if inf.critSrc == core.CritNone {
+		return
+	}
+	p.S.WithInputs++
+	interTrace := false
+	if inf.critForwarded {
+		p.S.CritForwarded++
+		prod := inf.critProd
+		dist := p.geom.Distance(prod.cluster, inf.cluster)
+		p.S.CritDistSum += uint64(dist)
+		if dist == 0 {
+			p.S.CritIntraCluster++
+		}
+		if prod.group != inf.group {
+			interTrace = true
+			p.S.CritInterTrace++
+		}
+		switch inf.critSrc {
+		case core.CritRS1:
+			p.S.CritFromRS1++
+		case core.CritRS2:
+			p.S.CritFromRS2++
+		}
+	} else {
+		p.S.CritFromRF++
+	}
+	// Producer repeatability (Table 3): all forwarded inputs...
+	for k := 0; k < 2; k++ {
+		prod := inf.prod[k]
+		if prod == nil || inf.src[k] == isa.NoReg {
+			continue
+		}
+		p.S.FwdInputs++
+		d := p.geom.Distance(prod.cluster, inf.cluster)
+		p.S.FwdDistSum += uint64(d)
+		if d == 0 {
+			p.S.FwdIntraCluster++
+		}
+		last := p.lastProd[inf.rec.PC]
+		if last[k] != 0 {
+			if k == 0 {
+				p.S.RS1Seen++
+				if last[k] == prod.rec.PC {
+					p.S.RS1Repeat++
+				}
+			} else {
+				p.S.RS2Seen++
+				if last[k] == prod.rec.PC {
+					p.S.RS2Repeat++
+				}
+			}
+		}
+		last[k] = prod.rec.PC
+		p.lastProd[inf.rec.PC] = last
+	}
+	// ...and critical inter-trace inputs only.
+	if inf.critForwarded && interTrace {
+		k := int(inf.critSrc) - 1
+		last := p.lastCritInterProd[inf.rec.PC]
+		if last[k] != 0 {
+			if k == 0 {
+				p.S.CritRS1InterSeen++
+				if last[k] == inf.critProd.rec.PC {
+					p.S.CritRS1InterRep++
+				}
+			} else {
+				p.S.CritRS2InterSeen++
+				if last[k] == inf.critProd.rec.PC {
+					p.S.CritRS2InterRep++
+				}
+			}
+		}
+		last[k] = inf.critProd.rec.PC
+		p.lastCritInterProd[inf.rec.PC] = last
+	}
+}
+
+// --- retire ---
+
+func (p *Pipeline) sbOccupied() int {
+	keep := p.sbDrain[:0]
+	for _, t := range p.sbDrain {
+		if t > p.now {
+			keep = append(keep, t)
+		}
+	}
+	p.sbDrain = keep
+	return len(p.sbDrain)
+}
+
+func (p *Pipeline) retire() bool {
+	budget := p.cfg.RetireWidth
+	worked := false
+	for budget > 0 && len(p.rob) > 0 {
+		inf := p.rob[0]
+		if !inf.issued || inf.doneAt > p.now {
+			break
+		}
+		if inf.isStore {
+			if p.sbOccupied() >= p.cfg.StoreBuffer {
+				p.S.SBFullStalls++
+				break
+			}
+			drain := p.lastDrain + 1
+			if drain < p.now {
+				drain = p.now
+			}
+			p.lastDrain = drain
+			done := p.mem.Access(p.portTime(drain), inf.rec.EA)
+			p.sbDrain = append(p.sbDrain, done)
+		}
+		inf.retired = true
+		if inf.isLoad {
+			p.loadsInROB--
+		}
+		p.rob = p.rob[1:]
+		p.S.Retired++
+		if inf.fromTC {
+			p.S.RetiredFromTC++
+		}
+		p.fill.Retire(p.retireInfo(inf))
+		// Drop outgoing references so retired records don't chain-retain the
+		// whole execution history; fields of *this* record stay valid for
+		// any younger consumers still holding a pointer to it.
+		inf.prod[0], inf.prod[1] = nil, nil
+		inf.critProd = nil
+		inf.prevStore = nil
+		p.lastRetireCycle = p.now
+		budget--
+		worked = true
+	}
+	return worked
+}
+
+func (p *Pipeline) retireInfo(inf *inflight) core.RetireInfo {
+	info := core.RetireInfo{
+		Rec:        inf.rec,
+		FromTC:     inf.fromTC,
+		Profile:    inf.profile,
+		Cluster:    inf.cluster,
+		FetchGroup: inf.group,
+		CritSrc:    inf.critSrc,
+	}
+	if inf.critForwarded && inf.critProd != nil {
+		info.CritForwarded = true
+		info.CritProducerPC = inf.critProd.rec.PC
+		info.CritProducerSeq = inf.critProd.rec.Seq
+		info.CritProducerCluster = inf.critProd.cluster
+		info.CritInterTrace = inf.critProd.group != inf.group
+		info.CritProducerProfile = inf.critProd.profile
+	}
+	return info
+}
+
+// snapshot renders one cycle's occupancy for Config.TraceCycles.
+func (p *Pipeline) snapshot() string {
+	var sb []byte
+	sb = fmt.Appendf(sb, "cyc %6d | fetchQ %2d | rob %3d | rs", p.now, len(p.fetchQ), len(p.rob))
+	for c := 0; c < p.geom.Clusters; c++ {
+		occ := 0
+		for st := 0; st < int(cluster.NumRSKinds); st++ {
+			occ += p.rsCount[c][st]
+		}
+		sb = fmt.Appendf(sb, " %2d", occ)
+	}
+	if p.pendingRedirect != nil {
+		sb = append(sb, " | redirect"...)
+	}
+	sb = fmt.Appendf(sb, " | retired %d", p.S.Retired)
+	return string(sb)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunProgram is a convenience wrapper: it executes prog on a fresh emulator
+// and replays the committed stream through a pipeline with cfg.
+func RunProgram(prog *isa.Program, cfg Config) *Stats {
+	m := emu.New(prog)
+	p := New(m, cfg)
+	return p.Run()
+}

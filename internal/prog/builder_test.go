@@ -1,0 +1,154 @@
+package prog
+
+import (
+	"testing"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+)
+
+func TestBuildAndRunLoop(t *testing.T) {
+	b := New()
+	arr := b.Quads("arr", 3, 1, 4, 1, 5, 9, 2, 6)
+	b.MoviAddr(isa.R(1), "arr")
+	if arr != b.DataAddr("arr") {
+		t.Fatal("Quads address != DataAddr")
+	}
+	b.Movi(isa.R(2), 8) // count
+	b.Movi(isa.R(3), 0) // sum
+	b.Label("loop")
+	b.Load(isa.LDQ, isa.R(4), isa.R(1), 0)
+	b.Op3(isa.ADD, isa.R(3), isa.R(4), isa.R(3))
+	b.OpI(isa.ADD, isa.R(1), 8, isa.R(1))
+	b.OpI(isa.SUB, isa.R(2), 1, isa.R(2))
+	b.Branch(isa.BNE, isa.R(2), "loop")
+	b.Out(isa.R(3))
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[isa.R(3)] != 31 {
+		t.Errorf("sum = %d, want 31", m.Regs[isa.R(3)])
+	}
+	if len(m.OutValues) != 1 || m.OutValues[0] != 31 {
+		t.Errorf("OutValues = %v", m.OutValues)
+	}
+}
+
+func TestCallAndRet(t *testing.T) {
+	b := New()
+	b.Br("main")
+	b.Label("double")
+	b.Op3(isa.ADD, isa.R(1), isa.R(1), isa.R(1))
+	b.Ret()
+	b.Label("main")
+	b.Movi(isa.R(1), 21)
+	b.Call("double", isa.R(9))
+	b.Halt()
+	b.Entry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry %#x != main %#x", p.Entry, p.Symbols["main"])
+	}
+	m := emu.New(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[isa.R(1)] != 42 {
+		t.Errorf("r1 = %d, want 42", m.Regs[isa.R(1)])
+	}
+}
+
+func TestUndefinedLabelError(t *testing.T) {
+	b := New()
+	b.Br("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build succeeded with undefined label")
+	}
+}
+
+func TestDuplicateLabelError(t *testing.T) {
+	b := New()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build succeeded with duplicate label")
+	}
+}
+
+func TestDuplicateDataSymbolError(t *testing.T) {
+	b := New()
+	b.Quads("d", 1)
+	b.Quads("d", 2)
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build succeeded with duplicate data symbol")
+	}
+}
+
+func TestDataAlignment(t *testing.T) {
+	b := New()
+	b.Bytes("a", []byte{1, 2, 3}) // 3 bytes, next object must realign
+	q := b.Quads("q", 0xDEAD)
+	if q%8 != 0 {
+		t.Errorf("quad data at unaligned address %#x", q)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if got := m.Mem.Read(q, 8); got != 0xDEAD {
+		t.Errorf("quad read = %#x", got)
+	}
+}
+
+func TestAutoLabelUnique(t *testing.T) {
+	b := New()
+	l1, l2 := b.AutoLabel("L"), b.AutoLabel("L")
+	if l1 == l2 {
+		t.Errorf("AutoLabel returned duplicate %q", l1)
+	}
+}
+
+func TestMovAndUnary(t *testing.T) {
+	b := New()
+	b.Movi(isa.R(1), -5)
+	b.Mov(isa.R(2), isa.R(1))
+	b.OpI(isa.AND, isa.R(2), 0xFF, isa.R(3))
+	b.Unary(isa.SEXTB, isa.R(3), isa.R(4))
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if int64(m.Regs[isa.R(2)]) != -5 || int64(m.Regs[isa.R(4)]) != -5 {
+		t.Errorf("mov/sextb: r2=%d r4=%d", int64(m.Regs[isa.R(2)]), int64(m.Regs[isa.R(4)]))
+	}
+}
+
+func TestLabelAddr(t *testing.T) {
+	b := New()
+	b.Nop()
+	b.Label("here")
+	b.Halt()
+	if got := b.LabelAddr("here"); got != isa.DefaultTextBase+4 {
+		t.Errorf("LabelAddr = %#x", got)
+	}
+}

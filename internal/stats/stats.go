@@ -1,0 +1,110 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses: harmonic-mean speedups (the paper's averaging
+// convention), percentage formatting, and plain-text table rendering for
+// regenerated tables and figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs (the paper's convention for
+// averaging speedups; footnote 3). Zero or negative entries are rejected by
+// returning 0, which keeps a broken experiment visible rather than silently
+// plausible.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats a fraction as a percentage with two decimals ("61.61%").
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats a float with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Table is a plain-text table with a title and optional trailing notes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces an aligned, monospace rendering.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				if i == 0 {
+					sb.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+				} else {
+					sb.WriteString(fmt.Sprintf("%*s", widths[i], c))
+				}
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMeanBasics(t *testing.T) {
+	if hm := HarmonicMean([]float64{1, 1, 1}); hm != 1 {
+		t.Errorf("HM(1,1,1) = %v", hm)
+	}
+	if hm := HarmonicMean([]float64{2, 2}); hm != 2 {
+		t.Errorf("HM(2,2) = %v", hm)
+	}
+	// Classic: HM(1,2) = 4/3.
+	if hm := HarmonicMean([]float64{1, 2}); math.Abs(hm-4.0/3) > 1e-12 {
+		t.Errorf("HM(1,2) = %v", hm)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("HM(nil) != 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("HM with zero entry should flag as 0")
+	}
+	if HarmonicMean([]float64{1, -2}) != 0 {
+		t.Error("HM with negative entry should flag as 0")
+	}
+}
+
+// Property: the harmonic mean never exceeds the arithmetic mean and lies
+// within [min, max] for positive inputs.
+func TestHarmonicMeanBoundsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, am := HarmonicMean(xs), Mean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		const eps = 1e-9
+		return hm <= am*(1+eps) && hm >= lo*(1-eps) && hm <= hi*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean(nil) != 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.6161) != "61.61%" {
+		t.Errorf("Pct = %q", Pct(0.6161))
+	}
+	if F2(1.234) != "1.23" || F3(1.2345) != "1.234" {
+		t.Error("float formatters wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("alpha", "1.00")
+	tab.AddRow("b", "12345.00")
+	out := tab.Render()
+	for _, want := range []string{"T\n=", "name", "alpha", "12345.00", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header's separator offset.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatal("too few lines")
+	}
+	// Right-aligned numeric column: the shorter value ends at the same
+	// column as the longer one.
+	var alphaLine, bLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "b ") {
+			bLine = l
+		}
+	}
+	if len(alphaLine) != len(bLine) {
+		t.Errorf("misaligned rows:\n%q\n%q", alphaLine, bLine)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tab := &Table{Header: []string{"x"}}
+	tab.AddRow("1")
+	if strings.HasPrefix(tab.Render(), "\n=") {
+		t.Error("empty title rendered separator")
+	}
+}

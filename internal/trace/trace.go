@@ -1,0 +1,342 @@
+// Package trace implements the trace cache substrate of the CTCP: trace
+// construction from the retiring instruction stream (the fill unit's input
+// side), the path-associative trace cache array, and the per-instruction
+// profile fields that the FDRT assignment scheme stores in trace lines.
+//
+// A trace is up to MaxLen instructions spanning up to MaxBlocks basic blocks.
+// Conditional branches embed their direction in the line; register-indirect
+// control (JSR/JMP/RET) and HALT always terminate construction. On a fetch,
+// a line hits only if its start PC matches and every embedded conditional
+// branch agrees with the current predictions — the paper's multiple-branch
+// path associativity.
+package trace
+
+import (
+	"fmt"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+)
+
+// Chain-role values for the FDRT leader/follower profile field.
+const (
+	RoleNone uint8 = iota
+	RoleLeader
+	RoleFollower
+)
+
+// Profile is the per-instruction execution history the trace cache stores
+// for feedback-directed assignment: a two-bit role and a two-bit chain
+// cluster (§4.2 of the paper).
+type Profile struct {
+	Role         uint8
+	ChainCluster uint8
+}
+
+// IsMember reports whether the instruction belongs to a cluster chain.
+func (p Profile) IsMember() bool { return p.Role != RoleNone }
+
+// Slot is one instruction slot of a trace line.
+type Slot struct {
+	PC   uint64
+	Inst isa.Inst
+	// Taken records the embedded direction for conditional branches.
+	Taken bool
+	// SlotIndex is the physical issue-slot position (0..MaxLen-1) the fill
+	// unit placed this instruction in. Slots within a Trace are always kept
+	// in logical (program) order — retirement order never changes — and the
+	// fill unit's physical reordering is expressed by this field: the slot
+	// index determines which cluster the instruction issues to.
+	SlotIndex int
+	// Cluster is the execution cluster the slot index maps to; the fill
+	// unit records it when assigning.
+	Cluster int
+	// Profile carries the FDRT feedback fields stored with the instruction.
+	Profile Profile
+}
+
+// Trace is one trace cache line.
+type Trace struct {
+	StartPC uint64
+	// Slots in logical (program) order; physical placement is in SlotIndex.
+	Slots []Slot
+	// Blocks is the number of basic blocks in the trace.
+	Blocks int
+	// EndsIndirect marks traces terminated by register-indirect control.
+	EndsIndirect bool
+	// Fetches counts how many times the line was supplied by the cache.
+	Fetches uint64
+}
+
+// Len returns the number of instructions in the trace.
+func (t *Trace) Len() int { return len(t.Slots) }
+
+// CheckSlotIndices panics if the physical placement is not an injective map
+// into the line's slot positions — a corrupted reorder would silently issue
+// two instructions to the same slot.
+func (t *Trace) CheckSlotIndices(maxLen int) {
+	seen := make(map[int]bool, len(t.Slots))
+	for i := range t.Slots {
+		idx := t.Slots[i].SlotIndex
+		if idx < 0 || idx >= maxLen || seen[idx] {
+			panic(fmt.Sprintf("trace: corrupt slot placement in line @%#x", t.StartPC))
+		}
+		seen[idx] = true
+	}
+}
+
+// CondBranchPCs returns the PCs and directions of the embedded conditional
+// branches in logical order.
+func (t *Trace) CondBranchPCs() ([]uint64, []bool) {
+	var pcs []uint64
+	var dirs []bool
+	for i := range t.Slots {
+		s := &t.Slots[i]
+		if s.Inst.IsCond() {
+			pcs = append(pcs, s.PC)
+			dirs = append(dirs, s.Taken)
+		}
+	}
+	return pcs, dirs
+}
+
+// Config sizes the trace cache and construction rules (Table 7: 2-way,
+// 1K-entry, 3-cycle access; traces of up to 16 instructions / 3 blocks).
+type Config struct {
+	Lines     int // total lines
+	Ways      int
+	MaxLen    int // instructions per trace
+	MaxBlocks int
+	AccessLat int // fetch pipeline depth contribution, cycles
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{Lines: 1024, Ways: 2, MaxLen: 16, MaxBlocks: 3, AccessLat: 3}
+}
+
+// Stats counts trace cache activity.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Installs  uint64
+	Replaced  uint64
+	Updated   uint64 // installs that refreshed an existing path
+	Evictions uint64
+}
+
+// HitRate returns hits/lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is the path-associative trace cache.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines [][]*Trace // [set][way]
+	lru   [][]uint64
+	stamp uint64
+	S     Stats
+}
+
+// NewCache builds the trace cache.
+func NewCache(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("trace: lines %d not divisible by ways %d", cfg.Lines, cfg.Ways))
+	}
+	sets := cfg.Lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("trace: sets %d not a power of two", sets))
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	c.lines = make([][]*Trace, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]*Trace, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(pc uint64) int { return int((pc >> 2) & uint64(c.sets-1)) }
+
+// Lookup returns the line starting at pc whose embedded conditional-branch
+// directions all agree with pred, or nil on a miss. pred must be a pure
+// prediction function (no state updates); the fetch engine trains its
+// predictor separately with actual outcomes.
+func (c *Cache) Lookup(pc uint64, pred func(branchPC uint64) bool) *Trace {
+	c.S.Lookups++
+	set := c.set(pc)
+	for w, t := range c.lines[set] {
+		if t == nil || t.StartPC != pc {
+			continue
+		}
+		match := true
+		for i := range t.Slots {
+			if s := &t.Slots[i]; s.Inst.IsCond() && pred(s.PC) != s.Taken {
+				match = false
+				break
+			}
+		}
+		if match {
+			c.S.Hits++
+			c.stamp++
+			c.lru[set][w] = c.stamp
+			t.Fetches++
+			return t
+		}
+	}
+	return nil
+}
+
+// Install places a constructed trace into the cache. A line with the same
+// start PC and the same embedded path is replaced in place (the fill unit
+// refreshing profile fields and slot order); otherwise the LRU way of the
+// set is evicted.
+func (c *Cache) Install(t *Trace) {
+	c.S.Installs++
+	set := c.set(t.StartPC)
+	c.stamp++
+	// Same-path update.
+	for w, old := range c.lines[set] {
+		if old != nil && old.StartPC == t.StartPC && samePath(old, t) {
+			t.Fetches = old.Fetches
+			c.lines[set][w] = t
+			c.lru[set][w] = c.stamp
+			c.S.Updated++
+			return
+		}
+	}
+	victim, victimStamp := 0, uint64(1<<63)
+	for w, old := range c.lines[set] {
+		if old == nil {
+			victim, victimStamp = w, 0
+			break
+		}
+		if c.lru[set][w] < victimStamp {
+			victim, victimStamp = w, c.lru[set][w]
+		}
+	}
+	if c.lines[set][victim] != nil {
+		c.S.Evictions++
+	}
+	c.lines[set][victim] = t
+	c.lru[set][victim] = c.stamp
+	c.S.Replaced++
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		for w := range c.lines[i] {
+			c.lines[i][w] = nil
+			c.lru[i][w] = 0
+		}
+	}
+	c.stamp = 0
+	c.S = Stats{}
+}
+
+func samePath(a, b *Trace) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Slots {
+		if a.Slots[i].PC != b.Slots[i].PC || a.Slots[i].Taken != b.Slots[i].Taken {
+			return false
+		}
+	}
+	return true
+}
+
+// Builder accumulates retiring instructions into traces per the construction
+// rules. Add returns a completed trace when the current one terminates.
+type Builder struct {
+	cfg      Config
+	slots    []Slot
+	blocks   int
+	indirect bool
+}
+
+// NewBuilder returns a trace builder.
+func NewBuilder(cfg Config) *Builder {
+	return &Builder{cfg: cfg}
+}
+
+// Pending returns the number of buffered instructions.
+func (b *Builder) Pending() int { return len(b.slots) }
+
+// Add appends one retired instruction. When the instruction terminates the
+// trace (capacity, block limit, indirect control, or HALT) the completed
+// trace is returned with slots in logical order; otherwise Add returns nil.
+func (b *Builder) Add(rec emu.Committed) *Trace {
+	if len(b.slots) == 0 {
+		b.blocks = 1
+		b.indirect = false
+	}
+	b.slots = append(b.slots, Slot{
+		PC:        rec.PC,
+		Inst:      rec.Inst,
+		Taken:     rec.Inst.IsCond() && rec.Taken,
+		SlotIndex: len(b.slots),
+	})
+	terminate := false
+	if rec.Inst.IsControl() {
+		switch {
+		case rec.Inst.IsIndirect():
+			b.indirect = true
+			terminate = true
+		case rec.Taken && rec.NextPC <= rec.PC:
+			// Trace selection: a taken backward branch (loop closing)
+			// terminates the trace so the next trace starts at the loop
+			// head, keeping trace starts aligned with fetch targets.
+			terminate = true
+		case b.blocks >= b.cfg.MaxBlocks:
+			// The branch ending the MaxBlocks'th block terminates the trace.
+			terminate = true
+		default:
+			b.blocks++
+		}
+	}
+	if rec.Inst.Op == isa.HALT {
+		terminate = true
+	}
+	if len(b.slots) >= b.cfg.MaxLen {
+		terminate = true
+	}
+	if !terminate {
+		return nil
+	}
+	return b.finish()
+}
+
+// Flush completes and returns the partial trace, if any.
+func (b *Builder) Flush() *Trace {
+	if len(b.slots) == 0 {
+		return nil
+	}
+	return b.finish()
+}
+
+func (b *Builder) finish() *Trace {
+	t := &Trace{
+		StartPC:      b.slots[0].PC,
+		Slots:        b.slots,
+		Blocks:       b.blocks,
+		EndsIndirect: b.indirect,
+	}
+	b.slots = nil
+	b.blocks = 0
+	b.indirect = false
+	return t
+}
+
+// Dump exposes the raw line array for diagnostics and tests.
+func (c *Cache) Dump() [][]*Trace { return c.lines }

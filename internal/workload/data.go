@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+
+	"ctcp/internal/prog"
+)
+
+// rng is a deterministic xorshift64* generator used to synthesize benchmark
+// input data. Every benchmark seeds its own instance, so inputs are stable
+// across runs and machines.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float1to2() float64 { // uniform in [1,2)
+	return 1 + float64(r.next()>>11)/float64(1<<53)
+}
+
+// randBytes returns n uniformly random bytes.
+func randBytes(r *rng, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// smallBytes returns n bytes limited to values < limit (MTF inputs,
+// bytecode streams).
+func smallBytes(r *rng, n, limit int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.intn(limit))
+	}
+	return out
+}
+
+// runnyBytes returns n bytes forming runs (RLE-friendly compressible data);
+// values stay below 64 so they can double as MTF input.
+func runnyBytes(r *rng, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		v := byte(r.intn(64))
+		runLen := 1 + r.intn(12)
+		for k := 0; k < runLen && len(out) < n; k++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// textBytes returns n bytes of space-separated pseudo-words (lexer input).
+func textBytes(r *rng, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		wordLen := 2 + r.intn(9)
+		for k := 0; k < wordLen && len(out) < n; k++ {
+			out = append(out, byte('a'+r.intn(26)))
+		}
+		if len(out) < n {
+			out = append(out, ' ')
+		}
+	}
+	return out
+}
+
+// quadBytes encodes 64-bit values little-endian.
+func quadBytes(vals []uint64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// randQuads returns n random quads masked to the given range.
+func randQuads(r *rng, n int, mask uint64) []byte {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = r.next() & mask
+	}
+	return quadBytes(vals)
+}
+
+// sortedQuads returns n increasing quads with random gaps (binary-search
+// tables).
+func sortedQuads(r *rng, n int) []byte {
+	vals := make([]uint64, n)
+	v := uint64(0)
+	for i := range vals {
+		v += 1 + uint64(r.intn(4))
+		vals[i] = v
+	}
+	return quadBytes(vals)
+}
+
+// doubleBytes encodes float64 values little-endian.
+func doubleBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// randDoubles returns n doubles uniform in [lo, lo+span).
+func randDoubles(r *rng, n int, lo, span float64) []byte {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = lo + span*(r.float1to2()-1)
+	}
+	return doubleBytes(vals)
+}
+
+// sampleBytes returns n 16-bit audio-like samples: a sine carrier plus
+// noise (ADPCM/GSM input).
+func sampleBytes(r *rng, n int) []byte {
+	out := make([]byte, 2*n)
+	for i := 0; i < n; i++ {
+		v := int16(6000*math.Sin(float64(i)/9.7) + float64(r.intn(2048)-1024))
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+// placeList lays out a randomly-permuted circular linked list of n 16-byte
+// nodes (next pointer, value) under name, plus a head-pointer symbol
+// nameHead. Random permutation defeats any spatial locality, as in mcf.
+func placeList(b *prog.Builder, r *rng, name string, n int) {
+	base := b.Space(name, 16*n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	content := make([]byte, 16*n)
+	for k := 0; k < n; k++ {
+		cur, next := perm[k], perm[(k+1)%n]
+		binary.LittleEndian.PutUint64(content[16*cur:], base+uint64(16*next))
+		binary.LittleEndian.PutUint64(content[16*cur+8:], r.next()&0xFFFF)
+	}
+	b.Patch(base, content)
+	b.Quads(name+"_head", base+uint64(16*perm[0]))
+	b.Quads(name+"_head2", base+uint64(16*perm[n/2]))
+}
+
+// stepTable returns the 80-entry quad step-size table for the ADPCM kernel.
+func stepTable() []uint64 {
+	tab := make([]uint64, 80)
+	v := 7.0
+	for i := range tab {
+		tab[i] = uint64(v)
+		v *= 1.1
+	}
+	return tab
+}

@@ -1,0 +1,852 @@
+// Package workload provides the benchmark suite: synthetic analogs of the
+// 12 SPEC CPU2000 integer benchmarks and 14 MediaBench programs the paper
+// evaluates. Each analog is composed from a library of algorithmic kernels
+// (this file) that reproduce the dominant dependency structure, branch
+// behaviour, memory footprint and functional-unit mix of the original —
+// see DESIGN.md substitution #1.
+//
+// Kernel register conventions: r1 is the benchmark outer-loop counter, r6
+// the running checksum; kernels may clobber r8–r28 and f1–f20 freely. Each
+// kernel emits a self-contained inner loop with unique labels and folds its
+// result into r6.
+package workload
+
+import (
+	"ctcp/internal/isa"
+	"ctcp/internal/prog"
+)
+
+// lcgStep emits one pseudo-random step on the state register st, leaving
+// masked random bits in out: out = (st >> 16) & mask.
+func lcgStep(b *prog.Builder, st, out isa.Reg, mask int64) {
+	b.OpI(isa.MUL, st, 1103515245, st)
+	b.OpI(isa.ADD, st, 12345, st)
+	b.OpI(isa.SRL, st, 16, out)
+	b.OpI(isa.AND, out, mask, out)
+}
+
+// emitFNV hashes ways independent regions of count elements each (stride
+// bytes apart) with FNV-1a. The ways chains are emitted interleaved, as a
+// scheduling compiler would, so dependent operations sit ways instructions
+// apart (gzip/perlbmk string hashing, vortex object hashing).
+func emitFNV(b *prog.Builder, sym string, count, stride int64, ways int) {
+	if ways < 1 || ways > 4 {
+		panic("emitFNV: ways must be 1..4")
+	}
+	loop := b.AutoLabel("fnv")
+	ptr := func(w int) isa.Reg { return isa.R(8 + w) }
+	hash := func(w int) isa.Reg { return isa.R(12 + w) }
+	tmp := func(w int) isa.Reg { return isa.R(16 + w) }
+	for w := 0; w < ways; w++ {
+		b.MoviAddr(ptr(w), sym)
+		if w > 0 {
+			b.OpI(isa.ADD, ptr(w), int64(w)*count*stride, ptr(w))
+		}
+		b.Movi(hash(w), 0x811C9DC5+int64(w))
+	}
+	b.Movi(isa.R(28), count)
+	b.Label(loop)
+	for w := 0; w < ways; w++ {
+		b.Load(isa.LDBU, tmp(w), ptr(w), 0)
+	}
+	for w := 0; w < ways; w++ {
+		b.Op3(isa.XOR, hash(w), tmp(w), hash(w))
+	}
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.MUL, hash(w), 16777619, hash(w))
+	}
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.ADD, ptr(w), stride, ptr(w))
+	}
+	b.OpI(isa.SUB, isa.R(28), 1, isa.R(28))
+	b.Branch(isa.BNE, isa.R(28), loop)
+	for w := 0; w < ways; w++ {
+		b.Op3(isa.ADD, isa.R(6), hash(w), isa.R(6))
+	}
+}
+
+// emitSum adds n quads from sym with four parallel accumulators: high-ILP
+// streaming reduction (array sweeps everywhere).
+func emitSum(b *prog.Builder, sym string, n int64) {
+	loop := b.AutoLabel("sum")
+	// Four row pointers over four quarters of the array: the four load
+	// streams have independent induction variables, as a vectorizing
+	// compiler would emit them.
+	quarter := (n / 4) * 8
+	ptr := []isa.Reg{isa.R(8), isa.R(21), isa.R(22), isa.R(23)}
+	b.MoviAddr(ptr[0], sym)
+	for k := 1; k < 4; k++ {
+		b.OpI(isa.ADD, ptr[0], int64(k)*quarter, ptr[k])
+	}
+	b.Movi(isa.R(9), n/4)
+	for r := 10; r <= 13; r++ {
+		b.Movi(isa.R(r), 0)
+	}
+	b.Label(loop)
+	for k := 0; k < 4; k++ {
+		b.Load(isa.LDQ, isa.R(14+k), ptr[k], 0)
+	}
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.ADD, isa.R(10+k), isa.R(14+k), isa.R(10+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.OpI(isa.ADD, ptr[k], 8, ptr[k])
+	}
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+	b.Op3(isa.ADD, isa.R(10), isa.R(11), isa.R(10))
+	b.Op3(isa.ADD, isa.R(12), isa.R(13), isa.R(12))
+	b.Op3(isa.ADD, isa.R(10), isa.R(12), isa.R(10))
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+}
+
+// emitPointerChase walks steps nodes down two interleaved cursors of a
+// linked list (head pointers at sym and sym2): serial dependent loads with
+// two-way memory-level parallelism, as in mcf's arc scans.
+func emitPointerChase(b *prog.Builder, sym, sym2 string, steps int64) {
+	loop := b.AutoLabel("chase")
+	b.MoviAddr(isa.R(8), sym)
+	b.Load(isa.LDQ, isa.R(8), isa.R(8), 0)
+	b.MoviAddr(isa.R(9), sym2)
+	b.Load(isa.LDQ, isa.R(9), isa.R(9), 0)
+	b.Movi(isa.R(15), steps)
+	b.Label(loop)
+	b.Load(isa.LDQ, isa.R(10), isa.R(8), 8)
+	b.Load(isa.LDQ, isa.R(11), isa.R(9), 8)
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(11), isa.R(6))
+	b.Load(isa.LDQ, isa.R(8), isa.R(8), 0)
+	b.Load(isa.LDQ, isa.R(9), isa.R(9), 0)
+	b.OpI(isa.SUB, isa.R(15), 1, isa.R(15))
+	b.Branch(isa.BNE, isa.R(15), loop)
+}
+
+// emitLZMatch performs iters hash-chain style match attempts in a window at
+// sym (power-of-two half-size mask): inner byte-compare loop with a
+// data-dependent exit (gzip/bzip2 match search).
+func emitLZMatch(b *prog.Builder, sym string, iters, mask, lag, maxRun int64) {
+	outer := b.AutoLabel("lzo")
+	inner := b.AutoLabel("lzi")
+	done := b.AutoLabel("lzd")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), iters)
+	b.Label(outer)
+	lcgStep(b, isa.R(20), isa.R(21), mask)
+	b.Op3(isa.ADD, isa.R(8), isa.R(21), isa.R(10)) // p
+	b.OpI(isa.ADD, isa.R(10), lag, isa.R(11))      // q
+	b.Movi(isa.R(12), maxRun)
+	b.Label(inner)
+	b.Load(isa.LDBU, isa.R(13), isa.R(10), 0)
+	b.Load(isa.LDBU, isa.R(14), isa.R(11), 0)
+	b.Op3(isa.SUB, isa.R(13), isa.R(14), isa.R(15))
+	b.Branch(isa.BNE, isa.R(15), done)
+	b.OpI(isa.ADD, isa.R(10), 1, isa.R(10))
+	b.OpI(isa.ADD, isa.R(11), 1, isa.R(11))
+	b.OpI(isa.SUB, isa.R(12), 1, isa.R(12))
+	b.Branch(isa.BNE, isa.R(12), inner)
+	b.Label(done)
+	b.Op3(isa.ADD, isa.R(6), isa.R(12), isa.R(6))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
+
+// emitBitMangle runs ways interleaved branch-free LFSR chains: the low bit
+// selects a polynomial xor through a mask, the standard bitboard/CRC idiom
+// (crafty, pegwit stream mixing).
+func emitBitMangle(b *prog.Builder, iters int64, ways int) {
+	if ways < 1 || ways > 3 {
+		panic("emitBitMangle: ways must be 1..3")
+	}
+	loop := b.AutoLabel("bit")
+	st := func(w int) isa.Reg { return isa.R(10 + w) }
+	msk := func(w int) isa.Reg { return isa.R(14 + w) }
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.OR, isa.R(6), 0x5A5A+int64(w*77), st(w))
+	}
+	b.Movi(isa.R(9), iters)
+	b.Label(loop)
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.AND, st(w), 1, msk(w))
+	}
+	for w := 0; w < ways; w++ {
+		b.Op3(isa.SUB, isa.ZeroReg, msk(w), msk(w)) // 0 or all-ones
+	}
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.SRL, st(w), 1, st(w))
+	}
+	for w := 0; w < ways; w++ {
+		b.OpI(isa.AND, msk(w), 0x6DB88320, msk(w))
+	}
+	for w := 0; w < ways; w++ {
+		b.Op3(isa.XOR, st(w), msk(w), st(w))
+	}
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+	for w := 0; w < ways; w++ {
+		b.Op3(isa.ADD, isa.R(6), st(w), isa.R(6))
+	}
+}
+
+// emitPopcount counts set bits of n words at sym with the shift-and-test
+// loop crafty uses on bitboards: nested loop, data-dependent trip counts.
+func emitPopcount(b *prog.Builder, sym string, n int64) {
+	outer := b.AutoLabel("pco")
+	inner := b.AutoLabel("pci")
+	skip := b.AutoLabel("pcs")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), n)
+	b.Label(outer)
+	b.Load(isa.LDQ, isa.R(10), isa.R(8), 0)
+	b.Movi(isa.R(12), 8) // sample 8 bits per word
+	b.Label(inner)
+	b.OpI(isa.AND, isa.R(10), 1, isa.R(11))
+	b.Branch(isa.BEQ, isa.R(11), skip)
+	b.OpI(isa.ADD, isa.R(6), 1, isa.R(6))
+	b.Label(skip)
+	b.OpI(isa.SRL, isa.R(10), 7, isa.R(10))
+	b.OpI(isa.SUB, isa.R(12), 1, isa.R(12))
+	b.Branch(isa.BNE, isa.R(12), inner)
+	b.OpI(isa.ADD, isa.R(8), 8, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
+
+// emitDispatch interprets count bytecodes from sym through a computed jump
+// into a table of 8 uniformly-sized handlers: indirect-branch dispatch
+// (perlbmk/gcc interpreter and switch dispatch).
+func emitDispatch(b *prog.Builder, sym string, count int64) {
+	handlers := b.AutoLabel("handlers")
+	start := b.AutoLabel("dstart")
+	loop := b.AutoLabel("dloop")
+	next := b.AutoLabel("dnext")
+	b.Br(start)
+	b.Label(handlers)
+	// Eight handlers, each exactly 4 instructions (16 bytes); two virtual
+	// registers (r10, r24) give each handler two independent chains.
+	for h := 0; h < 8; h++ {
+		switch h % 4 {
+		case 0:
+			b.OpI(isa.ADD, isa.R(10), int64(h+1), isa.R(10))
+			b.OpI(isa.XOR, isa.R(24), 0x3F, isa.R(24))
+		case 1:
+			b.OpI(isa.SLL, isa.R(10), 1, isa.R(10))
+			b.OpI(isa.ADD, isa.R(24), 7, isa.R(24))
+		case 2:
+			b.OpI(isa.SRL, isa.R(10), 1, isa.R(10))
+			b.OpI(isa.XOR, isa.R(24), int64(h*37), isa.R(24))
+		case 3:
+			b.OpI(isa.SUB, isa.R(10), int64(h), isa.R(10))
+			b.OpI(isa.AND, isa.R(24), 0xFFFFFF, isa.R(24))
+		}
+		b.Br(next)
+		b.Nop()
+	}
+	b.Label(start)
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), count)
+	b.Movi(isa.R(13), int64(b.LabelAddr(handlers)))
+	b.Label(loop)
+	b.Load(isa.LDBU, isa.R(11), isa.R(8), 0)
+	b.OpI(isa.AND, isa.R(11), 7, isa.R(11))
+	b.OpI(isa.SLL, isa.R(11), 4, isa.R(12))
+	b.Op3(isa.ADD, isa.R(13), isa.R(12), isa.R(14))
+	b.Jmp(isa.R(14))
+	b.Label(next)
+	b.OpI(isa.ADD, isa.R(8), 1, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(24), isa.R(6))
+}
+
+// emitCallLeaf performs iters call/return pairs to a small leaf routine:
+// exercises JSR/RET and the return address stack (call-heavy codes).
+func emitCallLeaf(b *prog.Builder, iters int64) {
+	leaf := b.AutoLabel("leaf")
+	start := b.AutoLabel("clstart")
+	loop := b.AutoLabel("clloop")
+	b.Br(start)
+	b.Label(leaf)
+	b.OpI(isa.ADD, isa.R(10), 3, isa.R(10))
+	b.OpI(isa.XOR, isa.R(10), 0x55, isa.R(10))
+	b.Ret()
+	b.Label(start)
+	b.Movi(isa.R(9), iters)
+	b.Movi(isa.R(15), int64(b.LabelAddr(leaf)))
+	b.Label(loop)
+	b.Jsr(isa.RA, isa.R(15))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+}
+
+// emitAnneal performs iters simulated-annealing style swap evaluations on a
+// table of n quads at sym: random indexing, a data-dependent accept branch,
+// and conditional stores (twolf/vpr placement).
+func emitAnneal(b *prog.Builder, sym string, iters, mask int64) {
+	loop := b.AutoLabel("ann")
+	rej := b.AutoLabel("annrej")
+	rej2 := b.AutoLabel("annrej2")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), iters/2)
+	b.Movi(isa.R(19), 0x2B5D1) // second rng stream
+	b.Label(loop)
+	// Two independent swap evaluations per iteration, interleaved as a
+	// scheduling compiler would emit them.
+	lcgStep(b, isa.R(20), isa.R(21), mask)
+	lcgStep(b, isa.R(19), isa.R(25), mask)
+	lcgStep(b, isa.R(20), isa.R(22), mask)
+	lcgStep(b, isa.R(19), isa.R(26), mask)
+	b.OpI(isa.SLL, isa.R(21), 3, isa.R(21))
+	b.OpI(isa.SLL, isa.R(25), 3, isa.R(25))
+	b.OpI(isa.SLL, isa.R(22), 3, isa.R(22))
+	b.OpI(isa.SLL, isa.R(26), 3, isa.R(26))
+	b.Op3(isa.ADD, isa.R(8), isa.R(21), isa.R(23))
+	b.Op3(isa.ADD, isa.R(8), isa.R(25), isa.R(27))
+	b.Op3(isa.ADD, isa.R(8), isa.R(22), isa.R(24))
+	b.Op3(isa.ADD, isa.R(8), isa.R(26), isa.R(28))
+	b.Load(isa.LDQ, isa.R(10), isa.R(23), 0)
+	b.Load(isa.LDQ, isa.R(13), isa.R(27), 0)
+	b.Load(isa.LDQ, isa.R(11), isa.R(24), 0)
+	b.Load(isa.LDQ, isa.R(14), isa.R(28), 0)
+	b.Op3(isa.SUB, isa.R(10), isa.R(11), isa.R(12)) // delta0
+	b.Op3(isa.SUB, isa.R(13), isa.R(14), isa.R(15)) // delta1
+	b.Op3(isa.ADD, isa.R(6), isa.R(12), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(15), isa.R(6))
+	b.Branch(isa.BLE, isa.R(12), rej)
+	b.Store(isa.STQ, isa.R(11), isa.R(23), 0) // accept: swap pair 0
+	b.Store(isa.STQ, isa.R(10), isa.R(24), 0)
+	b.Label(rej)
+	b.Branch(isa.BLE, isa.R(15), rej2)
+	b.Store(isa.STQ, isa.R(14), isa.R(27), 0) // accept: swap pair 1
+	b.Store(isa.STQ, isa.R(13), isa.R(28), 0)
+	b.Label(rej2)
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitSAD accumulates a branchless sum of absolute byte differences between
+// two blocks (mpeg2 motion estimation): wide ILP, byte loads.
+func emitSAD(b *prog.Builder, symA, symB string, n int64) {
+	loop := b.AutoLabel("sad")
+	// Two row pointers per block (top and bottom halves) so the four load
+	// streams have independent induction chains.
+	half := n / 2
+	b.MoviAddr(isa.R(8), symA)
+	b.OpI(isa.ADD, isa.R(8), half, isa.R(28))
+	b.MoviAddr(isa.R(9), symB)
+	b.OpI(isa.ADD, isa.R(9), half, isa.R(27))
+	b.Movi(isa.R(15), n/4)
+	b.Label(loop)
+	b.Load(isa.LDBU, isa.R(10), isa.R(8), 0)
+	b.Load(isa.LDBU, isa.R(11), isa.R(28), 0)
+	b.Load(isa.LDBU, isa.R(12), isa.R(8), 1)
+	b.Load(isa.LDBU, isa.R(13), isa.R(28), 1)
+	b.Load(isa.LDBU, isa.R(16), isa.R(9), 0)
+	b.Load(isa.LDBU, isa.R(17), isa.R(27), 0)
+	b.Load(isa.LDBU, isa.R(18), isa.R(9), 1)
+	b.Load(isa.LDBU, isa.R(19), isa.R(27), 1)
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.SUB, isa.R(10+k), isa.R(16+k), isa.R(20+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.OpI(isa.SRA, isa.R(20+k), 63, isa.R(24+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.XOR, isa.R(20+k), isa.R(24+k), isa.R(20+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.SUB, isa.R(20+k), isa.R(24+k), isa.R(20+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.ADD, isa.R(6), isa.R(20+k), isa.R(6))
+	}
+	b.OpI(isa.ADD, isa.R(8), 2, isa.R(8))
+	b.OpI(isa.ADD, isa.R(28), 2, isa.R(28))
+	b.OpI(isa.ADD, isa.R(9), 2, isa.R(9))
+	b.OpI(isa.ADD, isa.R(27), 2, isa.R(27))
+	b.OpI(isa.SUB, isa.R(15), 1, isa.R(15))
+	b.Branch(isa.BNE, isa.R(15), loop)
+}
+
+// emitFIR computes outs outputs of a taps-tap FP filter over doubles at
+// dataSym with coefficients at coefSym: a serial FP accumulation chain per
+// output (gsm/g721 prediction filters, eon shading sums).
+func emitFIR(b *prog.Builder, dataSym, coefSym, outSym string, outs, taps int64) {
+	outer := b.AutoLabel("firo")
+	inner := b.AutoLabel("firi")
+	b.MoviAddr(isa.R(8), dataSym)
+	b.MoviAddr(isa.R(15), outSym)
+	b.Movi(isa.R(9), outs/2)
+	b.Label(outer)
+	// Two output points computed together with interleaved accumulators,
+	// the way a scheduling compiler pipelines this loop.
+	b.MoviAddr(isa.R(10), coefSym)
+	b.Mov(isa.R(11), isa.R(8))
+	b.OpI(isa.ADD, isa.R(8), 8, isa.R(16)) // second point's data cursor
+	b.Movi(isa.R(12), taps)
+	b.Movi(isa.R(13), 0)
+	b.Unary(isa.CVTQT, isa.R(13), isa.F(1)) // acc0 = 0.0
+	b.Unary(isa.CVTQT, isa.R(13), isa.F(8)) // acc1 = 0.0
+	b.Label(inner)
+	b.Load(isa.LDT, isa.F(2), isa.R(11), 0)
+	b.Load(isa.LDT, isa.F(9), isa.R(16), 0)
+	b.Load(isa.LDT, isa.F(3), isa.R(10), 0)
+	b.Op3(isa.MULT, isa.F(2), isa.F(3), isa.F(4))
+	b.Op3(isa.MULT, isa.F(9), isa.F(3), isa.F(10))
+	b.Op3(isa.ADDT, isa.F(1), isa.F(4), isa.F(1))
+	b.Op3(isa.ADDT, isa.F(8), isa.F(10), isa.F(8))
+	b.OpI(isa.ADD, isa.R(11), 8, isa.R(11))
+	b.OpI(isa.ADD, isa.R(16), 8, isa.R(16))
+	b.OpI(isa.ADD, isa.R(10), 8, isa.R(10))
+	b.OpI(isa.SUB, isa.R(12), 1, isa.R(12))
+	b.Branch(isa.BNE, isa.R(12), inner)
+	b.Unary(isa.CVTTQ, isa.F(1), isa.R(14))
+	b.Op3(isa.ADD, isa.R(6), isa.R(14), isa.R(6))
+	b.Unary(isa.CVTTQ, isa.F(8), isa.R(17))
+	b.Op3(isa.ADD, isa.R(6), isa.R(17), isa.R(6))
+	b.Store(isa.STT, isa.F(1), isa.R(15), 0)
+	b.Store(isa.STT, isa.F(8), isa.R(15), 8)
+	b.OpI(isa.ADD, isa.R(15), 16, isa.R(15))
+	b.OpI(isa.ADD, isa.R(8), 16, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
+
+// emitDCT8 runs reps passes of an 8-point butterfly transform on doubles at
+// sym: parallel FP adds/multiplies with a store-back (jpeg/mpeg DCT).
+func emitDCT8(b *prog.Builder, sym string, reps int64) {
+	loop := b.AutoLabel("dct")
+	b.Movi(isa.R(9), reps)
+	b.Label(loop)
+	b.MoviAddr(isa.R(8), sym)
+	for k := 0; k < 8; k++ {
+		b.Load(isa.LDT, isa.F(1+k), isa.R(8), int64(8*k))
+	}
+	// Stage 1: butterflies.
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.ADDT, isa.F(1+k), isa.F(8-k), isa.F(9+k))
+		b.Op3(isa.SUBT, isa.F(1+k), isa.F(8-k), isa.F(13+k))
+	}
+	// Stage 2: rotations (multiplies by a constant loaded once).
+	b.Load(isa.LDT, isa.F(17), isa.R(8), 64) // cos constant stored after block
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.MULT, isa.F(13+k), isa.F(17), isa.F(13+k))
+	}
+	for k := 0; k < 4; k++ {
+		b.Op3(isa.ADDT, isa.F(9+k), isa.F(13+k), isa.F(9+k))
+	}
+	for k := 0; k < 8; k++ {
+		b.Store(isa.STT, isa.F(9+k%4), isa.R(8), int64(8*k))
+	}
+	b.Unary(isa.CVTTQ, isa.F(9), isa.R(10))
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitWavelet applies one integer lifting pass over n quads at sym:
+// out[i] -= (in[i-1]+in[i+1])>>1, neighbour loads with short dependence
+// chains (epic wavelet).
+func emitWavelet(b *prog.Builder, sym string, n int64) {
+	loop := b.AutoLabel("wav")
+	half := (n / 2) * 8
+	b.MoviAddr(isa.R(8), sym)
+	b.OpI(isa.ADD, isa.R(8), half, isa.R(9)) // second half cursor
+	b.Movi(isa.R(15), n/2-2)
+	b.Label(loop)
+	// Two interleaved lifting chains over the two halves of the signal.
+	b.Load(isa.LDQ, isa.R(10), isa.R(8), 0)
+	b.Load(isa.LDQ, isa.R(16), isa.R(9), 0)
+	b.Load(isa.LDQ, isa.R(11), isa.R(8), 16)
+	b.Load(isa.LDQ, isa.R(17), isa.R(9), 16)
+	b.Load(isa.LDQ, isa.R(12), isa.R(8), 8)
+	b.Load(isa.LDQ, isa.R(18), isa.R(9), 8)
+	b.Op3(isa.ADD, isa.R(10), isa.R(11), isa.R(13))
+	b.Op3(isa.ADD, isa.R(16), isa.R(17), isa.R(19))
+	b.OpI(isa.SRA, isa.R(13), 1, isa.R(13))
+	b.OpI(isa.SRA, isa.R(19), 1, isa.R(19))
+	b.Op3(isa.SUB, isa.R(12), isa.R(13), isa.R(12))
+	b.Op3(isa.SUB, isa.R(18), isa.R(19), isa.R(18))
+	b.Store(isa.STQ, isa.R(12), isa.R(8), 8)
+	b.Store(isa.STQ, isa.R(18), isa.R(9), 8)
+	b.Op3(isa.ADD, isa.R(6), isa.R(12), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(18), isa.R(6))
+	b.OpI(isa.ADD, isa.R(8), 8, isa.R(8))
+	b.OpI(isa.ADD, isa.R(9), 8, isa.R(9))
+	b.OpI(isa.SUB, isa.R(15), 1, isa.R(15))
+	b.Branch(isa.BNE, isa.R(15), loop)
+}
+
+// emitMTF runs a move-to-front transform of count input bytes against a
+// 64-entry table at tableSym: data-dependent scan length plus a prefix
+// shift loop with stores (bzip2's MTF stage).
+func emitMTF(b *prog.Builder, tableSym, inputSym string, count int64) {
+	outer := b.AutoLabel("mtfo")
+	scan := b.AutoLabel("mtfscan")
+	found := b.AutoLabel("mtff")
+	shift := b.AutoLabel("mtfs")
+	noshift := b.AutoLabel("mtfn")
+	b.MoviAddr(isa.R(8), inputSym)
+	b.Movi(isa.R(9), count)
+	b.Label(outer)
+	b.Load(isa.LDBU, isa.R(10), isa.R(8), 0) // value (0..63)
+	b.MoviAddr(isa.R(11), tableSym)
+	b.Movi(isa.R(12), 0) // index
+	b.Label(scan)
+	b.Load(isa.LDBU, isa.R(13), isa.R(11), 0)
+	b.Op3(isa.SUB, isa.R(13), isa.R(10), isa.R(14))
+	b.Branch(isa.BEQ, isa.R(14), found)
+	b.OpI(isa.ADD, isa.R(11), 1, isa.R(11))
+	b.OpI(isa.ADD, isa.R(12), 1, isa.R(12))
+	b.Br(scan)
+	b.Label(found)
+	b.Op3(isa.ADD, isa.R(6), isa.R(12), isa.R(6))
+	// Shift table[0..idx-1] up by one, then table[0] = value.
+	b.Branch(isa.BEQ, isa.R(12), noshift)
+	b.Label(shift)
+	b.Load(isa.LDBU, isa.R(13), isa.R(11), -1)
+	b.Store(isa.STB, isa.R(13), isa.R(11), 0)
+	b.OpI(isa.SUB, isa.R(11), 1, isa.R(11))
+	b.OpI(isa.SUB, isa.R(12), 1, isa.R(12))
+	b.Branch(isa.BNE, isa.R(12), shift)
+	b.Label(noshift)
+	b.MoviAddr(isa.R(11), tableSym)
+	b.Store(isa.STB, isa.R(10), isa.R(11), 0)
+	b.OpI(isa.ADD, isa.R(8), 1, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
+
+// emitRLE scans size bytes at sym counting run boundaries: a compare branch
+// that is mostly not taken on runny data (bzip2/gzip run coding).
+func emitRLE(b *prog.Builder, sym string, size int64) {
+	loop := b.AutoLabel("rle")
+	same := b.AutoLabel("rlesame")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), size-1)
+	b.Movi(isa.R(12), 0)
+	b.Label(loop)
+	b.Load(isa.LDBU, isa.R(10), isa.R(8), 0)
+	b.Load(isa.LDBU, isa.R(11), isa.R(8), 1)
+	b.Op3(isa.SUB, isa.R(10), isa.R(11), isa.R(13))
+	b.Branch(isa.BEQ, isa.R(13), same)
+	b.OpI(isa.ADD, isa.R(12), 1, isa.R(12))
+	b.Label(same)
+	b.OpI(isa.ADD, isa.R(8), 1, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+	b.Op3(isa.ADD, isa.R(6), isa.R(12), isa.R(6))
+}
+
+// emitTreeSearch performs keys binary searches over n sorted quads at sym:
+// dependent loads with hard-to-predict direction branches (gcc symbol
+// tables, parser dictionary, vortex indexes).
+func emitTreeSearch(b *prog.Builder, sym string, n, keys int64) {
+	outer := b.AutoLabel("bso")
+	inner := b.AutoLabel("bsi")
+	left := b.AutoLabel("bsl")
+	stepDone := b.AutoLabel("bsd")
+	b.Movi(isa.R(9), keys)
+	b.Label(outer)
+	lcgStep(b, isa.R(20), isa.R(21), 2*n-1) // random key in ~value range
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(10), 0) // lo
+	b.Movi(isa.R(11), n) // hi
+	b.Label(inner)
+	b.Op3(isa.SUB, isa.R(11), isa.R(10), isa.R(12))
+	b.OpI(isa.CMPLE, isa.R(12), 1, isa.R(13))
+	b.Branch(isa.BNE, isa.R(13), stepDone)
+	b.Op3(isa.ADD, isa.R(10), isa.R(11), isa.R(12))
+	b.OpI(isa.SRL, isa.R(12), 1, isa.R(12)) // mid
+	b.OpI(isa.SLL, isa.R(12), 3, isa.R(14))
+	b.Op3(isa.ADD, isa.R(8), isa.R(14), isa.R(14))
+	b.Load(isa.LDQ, isa.R(15), isa.R(14), 0)
+	b.Op3(isa.CMPLT, isa.R(21), isa.R(15), isa.R(16))
+	b.Branch(isa.BNE, isa.R(16), left)
+	b.Mov(isa.R(10), isa.R(12)) // lo = mid
+	b.Br(inner)
+	b.Label(left)
+	b.Mov(isa.R(11), isa.R(12)) // hi = mid
+	b.Br(inner)
+	b.Label(stepDone)
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
+
+// emitBignum multiply-accumulates limbs of two little-endian bignums at
+// symA/symB into an accumulator with a serial carry chain (gap arithmetic,
+// pegwit public-key math): integer multiplier pressure.
+func emitBignum(b *prog.Builder, symA, symB string, limbs int64) {
+	loop := b.AutoLabel("big")
+	b.MoviAddr(isa.R(8), symA)
+	b.MoviAddr(isa.R(9), symB)
+	b.OpI(isa.ADD, isa.R(8), limbs*8, isa.R(21)) // second half cursors
+	b.OpI(isa.ADD, isa.R(9), limbs*8, isa.R(22))
+	b.Movi(isa.R(10), limbs)
+	b.Movi(isa.R(11), 0) // acc0
+	b.Movi(isa.R(12), 0) // carry0
+	b.Movi(isa.R(23), 0) // acc1
+	b.Movi(isa.R(24), 0) // carry1
+	b.Label(loop)
+	// Two interleaved multiply-accumulate carry chains.
+	b.Load(isa.LDQ, isa.R(13), isa.R(8), 0)
+	b.Load(isa.LDQ, isa.R(25), isa.R(21), 0)
+	b.Load(isa.LDQ, isa.R(14), isa.R(9), 0)
+	b.Load(isa.LDQ, isa.R(26), isa.R(22), 0)
+	b.Op3(isa.MUL, isa.R(13), isa.R(14), isa.R(15))
+	b.Op3(isa.MUL, isa.R(25), isa.R(26), isa.R(27))
+	b.Op3(isa.ADD, isa.R(11), isa.R(15), isa.R(11))
+	b.Op3(isa.ADD, isa.R(23), isa.R(27), isa.R(23))
+	b.Op3(isa.CMPULT, isa.R(11), isa.R(15), isa.R(16))
+	b.Op3(isa.CMPULT, isa.R(23), isa.R(27), isa.R(28))
+	b.Op3(isa.ADD, isa.R(12), isa.R(16), isa.R(12))
+	b.Op3(isa.ADD, isa.R(24), isa.R(28), isa.R(24))
+	b.Store(isa.STQ, isa.R(11), isa.R(8), 0) // result limb writeback
+	b.Store(isa.STQ, isa.R(23), isa.R(21), 0)
+	b.OpI(isa.ADD, isa.R(8), 8, isa.R(8))
+	b.OpI(isa.ADD, isa.R(21), 8, isa.R(21))
+	b.OpI(isa.ADD, isa.R(9), 8, isa.R(9))
+	b.OpI(isa.ADD, isa.R(22), 8, isa.R(22))
+	b.OpI(isa.SUB, isa.R(10), 1, isa.R(10))
+	b.Branch(isa.BNE, isa.R(10), loop)
+	b.Op3(isa.ADD, isa.R(11), isa.R(12), isa.R(11))
+	b.Op3(isa.ADD, isa.R(23), isa.R(24), isa.R(23))
+	b.Op3(isa.ADD, isa.R(6), isa.R(11), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(23), isa.R(6))
+}
+
+// emitADPCM encodes count 16-bit samples at sym with an IMA-style ADPCM
+// step: sign/magnitude branches and a step-size table lookup with
+// clamping (adpcm rawcaudio/rawdaudio).
+func emitADPCM(b *prog.Builder, sym, stepTab, outSym string, count int64) {
+	loop := b.AutoLabel("adp")
+	pos := b.AutoLabel("adppos")
+	clampLo := b.AutoLabel("adplo")
+	clampHi := b.AutoLabel("adphi")
+	doneClamp := b.AutoLabel("adpdc")
+	b.MoviAddr(isa.R(8), sym)
+	b.Mov(isa.R(26), isa.R(8)) // input base (for output offset)
+	b.MoviAddr(isa.R(25), outSym)
+	b.Movi(isa.R(9), count)
+	b.Movi(isa.R(10), 0)  // predicted
+	b.Movi(isa.R(11), 40) // step index
+	b.Label(loop)
+	b.Load(isa.LDW, isa.R(12), isa.R(8), 0)
+	b.Unary(isa.SEXTW, isa.R(12), isa.R(12))
+	b.Op3(isa.SUB, isa.R(12), isa.R(10), isa.R(13)) // diff (signed)
+	b.Branch(isa.BGE, isa.R(13), pos)
+	b.OpI(isa.SUB, isa.R(11), 1, isa.R(11)) // step index down
+	b.Br(doneClamp)
+	b.Label(pos)
+	b.OpI(isa.ADD, isa.R(11), 2, isa.R(11)) // step index up
+	b.Label(doneClamp)
+	b.Branch(isa.BGE, isa.R(11), clampLo)
+	b.Movi(isa.R(11), 0)
+	b.Label(clampLo)
+	b.OpI(isa.CMPLT, isa.R(11), 80, isa.R(14))
+	b.Branch(isa.BNE, isa.R(14), clampHi)
+	b.Movi(isa.R(11), 79)
+	b.Label(clampHi)
+	b.MoviAddr(isa.R(15), stepTab)
+	b.OpI(isa.SLL, isa.R(11), 3, isa.R(16))
+	b.Op3(isa.ADD, isa.R(15), isa.R(16), isa.R(15))
+	b.Load(isa.LDQ, isa.R(17), isa.R(15), 0) // step size
+	b.OpI(isa.SRA, isa.R(13), 3, isa.R(18))
+	b.Op3(isa.MUL, isa.R(18), isa.R(17), isa.R(18))
+	b.OpI(isa.SRA, isa.R(18), 8, isa.R(18))
+	b.Op3(isa.ADD, isa.R(10), isa.R(18), isa.R(10)) // predicted update
+	b.Op3(isa.ADD, isa.R(6), isa.R(10), isa.R(6))
+	b.Op3(isa.SUB, isa.R(8), isa.R(26), isa.R(27)) // offset into input
+	b.Op3(isa.ADD, isa.R(27), isa.R(25), isa.R(27))
+	b.Store(isa.STW, isa.R(10), isa.R(27), 0) // reconstructed output
+	b.OpI(isa.ADD, isa.R(8), 2, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitQuantize maps count quads at sym through a 4-region comparison ladder
+// (g721 quantizer): short chains of compares and predictable-ish branches.
+func emitQuantize(b *prog.Builder, sym string, count int64) {
+	loop := b.AutoLabel("qnt")
+	r1 := b.AutoLabel("qr1")
+	r2 := b.AutoLabel("qr2")
+	done := b.AutoLabel("qdn")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), count)
+	b.Label(loop)
+	b.Load(isa.LDQ, isa.R(10), isa.R(8), 0)
+	b.OpI(isa.AND, isa.R(10), 0xFFFF, isa.R(10))
+	b.OpI(isa.CMPLT, isa.R(10), 0x2000, isa.R(11))
+	b.Branch(isa.BNE, isa.R(11), r1)
+	b.OpI(isa.CMPLT, isa.R(10), 0x8000, isa.R(11))
+	b.Branch(isa.BNE, isa.R(11), r2)
+	b.OpI(isa.ADD, isa.R(6), 3, isa.R(6))
+	b.Br(done)
+	b.Label(r1)
+	b.OpI(isa.ADD, isa.R(6), 1, isa.R(6))
+	b.Br(done)
+	b.Label(r2)
+	b.OpI(isa.ADD, isa.R(6), 2, isa.R(6))
+	b.Label(done)
+	b.OpI(isa.ADD, isa.R(8), 8, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitMemcpy copies bytes (multiple of 16) from src to dst as quads:
+// streaming loads/stores (vortex object copies, mpeg motion compensation).
+func emitMemcpy(b *prog.Builder, src, dst string, bytes int64) {
+	loop := b.AutoLabel("cpy")
+	b.MoviAddr(isa.R(8), src)
+	b.MoviAddr(isa.R(9), dst)
+	b.Movi(isa.R(10), bytes/16)
+	b.Label(loop)
+	b.Load(isa.LDQ, isa.R(11), isa.R(8), 0)
+	b.Load(isa.LDQ, isa.R(12), isa.R(8), 8)
+	b.Store(isa.STQ, isa.R(11), isa.R(9), 0)
+	b.Store(isa.STQ, isa.R(12), isa.R(9), 8)
+	b.OpI(isa.ADD, isa.R(8), 16, isa.R(8))
+	b.OpI(isa.ADD, isa.R(9), 16, isa.R(9))
+	b.OpI(isa.SUB, isa.R(10), 1, isa.R(10))
+	b.Branch(isa.BNE, isa.R(10), loop)
+	b.Op3(isa.ADD, isa.R(6), isa.R(11), isa.R(6))
+}
+
+// emitTokenize scans size bytes at sym counting word boundaries (parser's
+// lexer): byte loads with a mostly-not-taken delimiter branch.
+func emitTokenize(b *prog.Builder, sym string, size int64) {
+	loop := b.AutoLabel("tok")
+	notdelim := b.AutoLabel("tokn")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), size)
+	b.Label(loop)
+	b.Load(isa.LDBU, isa.R(10), isa.R(8), 0)
+	b.OpI(isa.SUB, isa.R(10), ' ', isa.R(11))
+	b.Branch(isa.BNE, isa.R(11), notdelim)
+	b.OpI(isa.ADD, isa.R(6), 1, isa.R(6))
+	b.Label(notdelim)
+	b.OpI(isa.ADD, isa.R(8), 1, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitRaySphere computes reps ray–sphere intersection discriminants with a
+// square root and hit test (eon's kernel): FP mul/add chains, SQRT latency,
+// data-dependent hit branch.
+func emitRaySphere(b *prog.Builder, sym string, reps, mask int64) {
+	loop := b.AutoLabel("ray")
+	miss := b.AutoLabel("raymiss")
+	miss2 := b.AutoLabel("raymiss2")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), reps/2)
+	b.Movi(isa.R(19), 0x77A11) // second rng stream
+	b.Label(loop)
+	// Two rays tested per iteration (packet tracing): interleaved FP chains.
+	lcgStep(b, isa.R(20), isa.R(21), mask)
+	lcgStep(b, isa.R(19), isa.R(23), mask)
+	b.OpI(isa.SLL, isa.R(21), 3, isa.R(21))
+	b.OpI(isa.SLL, isa.R(23), 3, isa.R(23))
+	b.Op3(isa.ADD, isa.R(8), isa.R(21), isa.R(22))
+	b.Op3(isa.ADD, isa.R(8), isa.R(23), isa.R(24))
+	b.Load(isa.LDT, isa.F(1), isa.R(22), 0) // b coefficients
+	b.Load(isa.LDT, isa.F(11), isa.R(24), 0)
+	b.Load(isa.LDT, isa.F(2), isa.R(22), 8) // c coefficients
+	b.Load(isa.LDT, isa.F(12), isa.R(24), 8)
+	b.Op3(isa.MULT, isa.F(1), isa.F(1), isa.F(3))
+	b.Op3(isa.MULT, isa.F(11), isa.F(11), isa.F(13))
+	b.Op3(isa.SUBT, isa.F(3), isa.F(2), isa.F(4)) // discriminants
+	b.Op3(isa.SUBT, isa.F(13), isa.F(12), isa.F(14))
+	b.Unary(isa.CVTTQ, isa.F(4), isa.R(10))
+	b.Unary(isa.CVTTQ, isa.F(14), isa.R(12))
+	b.Branch(isa.BLT, isa.R(10), miss)
+	b.Unary(isa.SQRTT, isa.F(4), isa.F(5))
+	b.Op3(isa.SUBT, isa.F(5), isa.F(1), isa.F(6))
+	b.Unary(isa.CVTTQ, isa.F(6), isa.R(11))
+	b.Op3(isa.ADD, isa.R(6), isa.R(11), isa.R(6))
+	b.Label(miss)
+	b.Branch(isa.BLT, isa.R(12), miss2)
+	b.Unary(isa.SQRTT, isa.F(14), isa.F(15))
+	b.Op3(isa.SUBT, isa.F(15), isa.F(11), isa.F(16))
+	b.Unary(isa.CVTTQ, isa.F(16), isa.R(13))
+	b.Op3(isa.ADD, isa.R(6), isa.R(13), isa.R(6))
+	b.Label(miss2)
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitGridCost evaluates iters routing-cost lookups on a 2D grid of quads
+// (vpr's maze router): address arithmetic with multiplies and neighbour
+// loads.
+func emitGridCost(b *prog.Builder, sym string, iters, dimMask int64) {
+	loop := b.AutoLabel("grid")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), iters/2)
+	b.Movi(isa.R(19), 0x5E3D7) // second rng stream
+	b.Label(loop)
+	// Two routing-cost cells evaluated per iteration, interleaved.
+	lcgStep(b, isa.R(20), isa.R(21), dimMask)
+	lcgStep(b, isa.R(19), isa.R(25), dimMask)
+	lcgStep(b, isa.R(20), isa.R(22), dimMask)
+	lcgStep(b, isa.R(19), isa.R(26), dimMask)
+	b.OpI(isa.MUL, isa.R(21), dimMask+1, isa.R(23))
+	b.OpI(isa.MUL, isa.R(25), dimMask+1, isa.R(27))
+	b.Op3(isa.ADD, isa.R(23), isa.R(22), isa.R(23))
+	b.Op3(isa.ADD, isa.R(27), isa.R(26), isa.R(27))
+	b.OpI(isa.SLL, isa.R(23), 3, isa.R(23))
+	b.OpI(isa.SLL, isa.R(27), 3, isa.R(27))
+	b.Op3(isa.ADD, isa.R(8), isa.R(23), isa.R(24))
+	b.Op3(isa.ADD, isa.R(8), isa.R(27), isa.R(28))
+	b.Load(isa.LDQ, isa.R(10), isa.R(24), 0)
+	b.Load(isa.LDQ, isa.R(14), isa.R(28), 0)
+	b.Load(isa.LDQ, isa.R(11), isa.R(24), 8)
+	b.Load(isa.LDQ, isa.R(15), isa.R(28), 8)
+	b.Load(isa.LDQ, isa.R(12), isa.R(24), 16)
+	b.Load(isa.LDQ, isa.R(16), isa.R(28), 16)
+	b.Op3(isa.ADD, isa.R(10), isa.R(11), isa.R(13))
+	b.Op3(isa.ADD, isa.R(14), isa.R(15), isa.R(17))
+	b.Op3(isa.ADD, isa.R(13), isa.R(12), isa.R(13))
+	b.Op3(isa.ADD, isa.R(17), isa.R(16), isa.R(17))
+	b.OpI(isa.SRA, isa.R(13), 2, isa.R(13))
+	b.OpI(isa.SRA, isa.R(17), 2, isa.R(17))
+	b.Store(isa.STQ, isa.R(13), isa.R(24), 8)
+	b.Store(isa.STQ, isa.R(17), isa.R(28), 8)
+	b.Op3(isa.ADD, isa.R(6), isa.R(13), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(17), isa.R(6))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), loop)
+}
+
+// emitBitUnpack extracts variable-length fields from a bit stream at sym
+// (jpeg/epic entropy decode): serial shift/mask chains with a refill
+// branch.
+func emitBitUnpack(b *prog.Builder, sym string, words int64) {
+	outer := b.AutoLabel("bup")
+	inner := b.AutoLabel("bupi")
+	b.MoviAddr(isa.R(8), sym)
+	b.Movi(isa.R(9), words/2)
+	b.Label(outer)
+	// Two bit buffers decoded with interleaved shift/mask chains.
+	b.Load(isa.LDQ, isa.R(10), isa.R(8), 0)
+	b.Load(isa.LDQ, isa.R(16), isa.R(8), 8)
+	b.Movi(isa.R(12), 12) // fields per word
+	b.Movi(isa.R(14), 0)
+	b.Movi(isa.R(17), 0)
+	b.Label(inner)
+	b.OpI(isa.AND, isa.R(10), 0x1F, isa.R(13)) // 5-bit fields
+	b.OpI(isa.AND, isa.R(16), 0x1F, isa.R(18))
+	b.Op3(isa.ADD, isa.R(14), isa.R(13), isa.R(14))
+	b.Op3(isa.ADD, isa.R(17), isa.R(18), isa.R(17))
+	b.OpI(isa.SRL, isa.R(10), 5, isa.R(10))
+	b.OpI(isa.SRL, isa.R(16), 5, isa.R(16))
+	b.OpI(isa.SUB, isa.R(12), 1, isa.R(12))
+	b.Branch(isa.BNE, isa.R(12), inner)
+	b.Op3(isa.ADD, isa.R(6), isa.R(14), isa.R(6))
+	b.Op3(isa.ADD, isa.R(6), isa.R(17), isa.R(6))
+	b.Store(isa.STQ, isa.R(14), isa.R(8), 0) // decoded symbols written back
+	b.Store(isa.STQ, isa.R(17), isa.R(8), 8)
+	b.OpI(isa.ADD, isa.R(8), 16, isa.R(8))
+	b.OpI(isa.SUB, isa.R(9), 1, isa.R(9))
+	b.Branch(isa.BNE, isa.R(9), outer)
+}
