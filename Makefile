@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the CI gate: compile everything, vet, then the full suite under
+# the race detector (the runner stress tests exercise it meaningfully).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

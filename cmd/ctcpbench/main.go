@@ -5,6 +5,12 @@
 //	ctcpbench                      # everything, default budget
 //	ctcpbench -exp fig6,table8     # selected artifacts
 //	ctcpbench -insts 500000        # bigger per-run budget
+//	ctcpbench -v                   # per-simulation progress on stderr
+//
+// A simulation that aborts (pathological configuration) no longer crashes
+// the process: the failing key is recorded, every artifact that did
+// complete is still printed, a failure summary goes to stderr, and the
+// process exits non-zero.
 package main
 
 import (
@@ -12,20 +18,49 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ctcp/internal/experiment"
+	"ctcp/internal/workload"
 )
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
-		insts = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
-		par   = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		exps    = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
+		insts   = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
+		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "log each simulation start/finish/failure to stderr")
+		inject  = flag.Bool("inject-fault", false, "fault-injection self-test: run one deliberately pathological configuration and verify the sweep degrades gracefully (exits non-zero)")
 	)
 	flag.Parse()
 
-	r := experiment.NewRunner(experiment.Options{Budget: *insts, Parallelism: *par})
+	opts := experiment.Options{Budget: *insts, Parallelism: *par}
+	if *verbose {
+		var mu sync.Mutex
+		opts.Progress = func(ev experiment.ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch ev.Kind {
+			case experiment.RunStarted:
+				fmt.Fprintf(os.Stderr, "%-5s %s\n", ev.Kind, ev.Key)
+			case experiment.RunCompleted:
+				fmt.Fprintf(os.Stderr, "%-5s %s (%v)\n", ev.Kind, ev.Key, ev.Wall.Round(time.Millisecond))
+			case experiment.RunFailed:
+				fmt.Fprintf(os.Stderr, "%-5s %s: %v\n", ev.Kind, ev.Key, ev.Err)
+			}
+		}
+	}
+	r := experiment.NewRunner(opts)
+	if *inject {
+		// A geometry with no clusters gives slot steering no valid target;
+		// the run aborts with a SimError that must be recorded, not fatal.
+		bad := experiment.BaseConfig()
+		bad.Geom.Clusters = 0
+		if bm, ok := workload.ByName("gzip"); ok {
+			r.RunErr(bm, "inject-fault", bad)
+		}
+	}
 	all := []struct {
 		name string
 		run  func() string
@@ -63,12 +98,19 @@ func main() {
 
 	fmt.Printf("ctcpbench: budget %d instructions per run\n\n", *insts)
 	ran := 0
+	var failedArtifacts []string
 	for _, e := range all {
 		if !want[e.name] {
 			continue
 		}
 		start := time.Now()
-		out := e.run()
+		out, err := renderArtifact(e.run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctcpbench: %s failed: %v\n\n", e.name, err)
+			failedArtifacts = append(failedArtifacts, e.name)
+			ran++
+			continue
+		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		ran++
@@ -77,4 +119,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ctcpbench: no matching experiments (see -exp)")
 		os.Exit(1)
 	}
+
+	st := r.Stats()
+	fmt.Printf("runner: %s\n", st)
+	exit := 0
+	if sum := r.FailureSummary(); sum != "" {
+		fmt.Fprint(os.Stderr, "ctcpbench: "+sum)
+		exit = 1
+	}
+	if len(failedArtifacts) > 0 {
+		fmt.Fprintf(os.Stderr, "ctcpbench: %d artifact(s) failed to render: %s\n",
+			len(failedArtifacts), strings.Join(failedArtifacts, ", "))
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// renderArtifact runs one artifact builder, converting a panic anywhere in
+// the build/render path into an error so the remaining artifacts still run.
+func renderArtifact(run func() string) (out string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return run(), nil
 }

@@ -59,6 +59,11 @@ type Config = pipeline.Config
 // Stats is the complete statistics record of one simulation.
 type Stats = pipeline.Stats
 
+// SimError is the typed error returned when a simulation aborts on an
+// internal invariant failure and is recovered at the run boundary
+// (RunErr, RunProgramErr, the experiment harness).
+type SimError = pipeline.SimError
+
 // Program is a loadable TRISC-64 image.
 type Program = isa.Program
 
@@ -82,8 +87,21 @@ func Run(bm Benchmark, cfg Config, maxInsts uint64) *Stats {
 	return pipeline.RunProgram(bm.ProgramFor(maxInsts), cfg)
 }
 
+// RunErr is Run with graceful degradation: a simulation aborted by an
+// internal invariant failure returns a *SimError instead of panicking.
+func RunErr(bm Benchmark, cfg Config, maxInsts uint64) (*Stats, error) {
+	cfg.MaxInsts = maxInsts
+	return pipeline.RunProgramErr(bm.ProgramFor(maxInsts), cfg)
+}
+
 // RunProgram simulates an arbitrary program under cfg.
 func RunProgram(p *Program, cfg Config) *Stats { return pipeline.RunProgram(p, cfg) }
+
+// RunProgramErr simulates an arbitrary program under cfg, converting an
+// internal invariant panic into a *SimError instead of crashing.
+func RunProgramErr(p *Program, cfg Config) (*Stats, error) {
+	return pipeline.RunProgramErr(p, cfg)
+}
 
 // NewMachine returns a functional emulator loaded with p.
 func NewMachine(p *Program) *Machine { return emu.New(p) }
@@ -165,3 +183,17 @@ func (e *Experiments) Figure9() *experiment.Figure9Result { return experiment.Fi
 // Ablation regenerates the §5.3 strategy decomposition (Friendly-middle,
 // intra-only FDRT, pinning).
 func (e *Experiments) Ablation() *experiment.AblationResult { return experiment.Ablation(e.r) }
+
+// RunnerStats snapshots the harness's execution counters: simulations
+// started/completed/failed, duplicate requests deduplicated, cache hits,
+// and per-key wall times.
+func (e *Experiments) RunnerStats() experiment.RunnerStats { return e.r.Stats() }
+
+// Failures returns the per-key errors of simulations that aborted
+// (empty when everything succeeded). Artifacts whose runs failed render
+// without those rows rather than crashing.
+func (e *Experiments) Failures() map[string]error { return e.r.Errors() }
+
+// FailureSummary renders the recorded failures for display; "" when all
+// runs succeeded.
+func (e *Experiments) FailureSummary() string { return e.r.FailureSummary() }

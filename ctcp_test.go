@@ -1,6 +1,7 @@
 package ctcp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -81,5 +82,35 @@ func TestStrategyNames(t *testing.T) {
 		if s.String() == "unknown" {
 			t.Errorf("strategy %d unnamed", s)
 		}
+	}
+}
+
+func TestFacadeRunErr(t *testing.T) {
+	bm, _ := BenchmarkByName("gzip")
+	s, err := RunErr(bm, DefaultConfig(), 10_000)
+	if err != nil || s == nil || s.Retired != 10_000 {
+		t.Fatalf("RunErr = %v, %v", s, err)
+	}
+	bad := DefaultConfig()
+	bad.Geom.Clusters = 0
+	s, err = RunErr(bm, bad, 5_000)
+	if s != nil {
+		t.Errorf("stats = %+v, want nil", s)
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *SimError", err, err)
+	}
+}
+
+func TestFacadeExperimentsObservability(t *testing.T) {
+	e := NewExperiments(15_000)
+	_ = e.Table1().Render()
+	st := e.RunnerStats()
+	if st.Started == 0 || st.Completed == 0 {
+		t.Errorf("runner stats empty after an experiment: %+v", st)
+	}
+	if len(e.Failures()) != 0 || e.FailureSummary() != "" {
+		t.Errorf("unexpected failures: %v", e.Failures())
 	}
 }

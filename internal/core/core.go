@@ -18,6 +18,17 @@ import (
 	"ctcp/internal/trace"
 )
 
+// InvariantError is the value the simulator panics with when an internal
+// invariant breaks (incomplete fill-unit assignment, a stalled pipeline).
+// Panicking keeps the hot paths free of error plumbing; the run boundary
+// (pipeline.RunProgramErr) recovers the panic into a typed error so a
+// pathological configuration degrades to one failed run instead of killing
+// the process.
+type InvariantError struct{ Msg string }
+
+// Error implements error.
+func (e *InvariantError) Error() string { return e.Msg }
+
 // StrategyKind selects the cluster assignment strategy.
 type StrategyKind int
 

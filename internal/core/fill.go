@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"ctcp/internal/cluster"
 	"ctcp/internal/isa"
 	"ctcp/internal/trace"
@@ -496,7 +498,9 @@ func materialize(tr *trace.Trace, g cluster.Geometry, assigned []int) {
 	for i := range tr.Slots {
 		c := assigned[i]
 		if c < 0 || c >= g.Clusters {
-			panic("core: materialize called with incomplete assignment")
+			panic(&InvariantError{Msg: fmt.Sprintf(
+				"core: materialize called with incomplete assignment (slot %d -> cluster %d of %d)",
+				i, c, g.Clusters)})
 		}
 		tr.Slots[i].Cluster = c
 		tr.Slots[i].SlotIndex = c*g.Width + next[c]

@@ -34,12 +34,17 @@ func Ablation(r *Runner) *AblationResult {
 	res := &AblationResult{}
 	for _, bm := range workload.Selected() {
 		b := r.Run(bm, "base", cfgs["base"])
+		fr := r.Run(bm, "friendly", cfgs["friendly"])
+		fm := r.Run(bm, "friendly-mid", cfgs["friendly-mid"])
+		fi := r.Run(bm, "fdrt-intra", cfgs["fdrt-intra"])
+		fd := r.Run(bm, "fdrt", cfgs["fdrt"])
+		fn := r.Run(bm, "fdrt-nopin", cfgs["fdrt-nopin"])
+		if !statsOK(b, fr, fm, fi, fd, fn) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{
-			speedup(b, r.Run(bm, "friendly", cfgs["friendly"])),
-			speedup(b, r.Run(bm, "friendly-mid", cfgs["friendly-mid"])),
-			speedup(b, r.Run(bm, "fdrt-intra", cfgs["fdrt-intra"])),
-			speedup(b, r.Run(bm, "fdrt", cfgs["fdrt"])),
-			speedup(b, r.Run(bm, "fdrt-nopin", cfgs["fdrt-nopin"])),
+			speedup(b, fr), speedup(b, fm), speedup(b, fi),
+			speedup(b, fd), speedup(b, fn),
 		}})
 	}
 	return res

@@ -22,11 +22,15 @@ func Figure6(r *Runner) *Figure6Result {
 	res := &Figure6Result{}
 	for _, bm := range workload.Selected() {
 		b := r.Run(bm, "base", cfgs["base"])
+		i0 := r.Run(bm, "issue0", cfgs["issue0"])
+		i4 := r.Run(bm, "issue4", cfgs["issue4"])
+		fd := r.Run(bm, "fdrt", cfgs["fdrt"])
+		fr := r.Run(bm, "friendly", cfgs["friendly"])
+		if !statsOK(b, i0, i4, fd, fr) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{
-			speedup(b, r.Run(bm, "issue0", cfgs["issue0"])),
-			speedup(b, r.Run(bm, "issue4", cfgs["issue4"])),
-			speedup(b, r.Run(bm, "fdrt", cfgs["fdrt"])),
-			speedup(b, r.Run(bm, "friendly", cfgs["friendly"])),
+			speedup(b, i0), speedup(b, i4), speedup(b, fd), speedup(b, fr),
 		}})
 	}
 	return res
@@ -67,10 +71,18 @@ func Table8(r *Runner) *Table8Result {
 	}}
 	for _, bm := range workload.Selected() {
 		var intra, dist []float64
+		ok := true
 		for _, key := range []string{"base", "friendly", "fdrt"} {
 			s := r.Run(bm, key, cfgs[key])
+			if !statsOK(s) {
+				ok = false
+				break
+			}
 			intra = append(intra, s.IntraClusterFrac())
 			dist = append(dist, s.AvgFwdDistance())
+		}
+		if !ok {
+			continue
 		}
 		res.IntraRows = append(res.IntraRows, BenchRow{bm.Name, intra})
 		res.DistRows = append(res.DistRows, BenchRow{bm.Name, dist})
@@ -124,6 +136,9 @@ func Figure7(r *Runner) *Figure7Result {
 	res := &Figure7Result{}
 	for _, bm := range workload.Selected() {
 		s := r.Run(bm, "fdrt", cfgs["fdrt"])
+		if !statsOK(s) {
+			continue
+		}
 		f := s.Fill
 		tot := float64(f.OptionA + f.OptionB + f.OptionC + f.OptionD + f.OptionE)
 		if tot == 0 {
@@ -182,8 +197,12 @@ func Table9(r *Runner) *Table9Result {
 		"perlbmk": {0.0377, 0.0359}, "twolf": {0.0508, 0.0892}, "vpr": {0.0436, 0.0477},
 	}}
 	for _, bm := range workload.Selected() {
-		pin := r.Run(bm, "fdrt", cfgs["fdrt"]).Fill
-		nop := r.Run(bm, "fdrt-nopin", cfgs["fdrt-nopin"]).Fill
+		pinS := r.Run(bm, "fdrt", cfgs["fdrt"])
+		nopS := r.Run(bm, "fdrt-nopin", cfgs["fdrt-nopin"])
+		if !statsOK(pinS, nopS) {
+			continue
+		}
+		pin, nop := pinS.Fill, nopS.Fill
 		allRed, chainRed := 0.0, 0.0
 		if nop.MigrationRate() > 0 {
 			allRed = 1 - pin.MigrationRate()/nop.MigrationRate()
@@ -240,6 +259,9 @@ func Table10(r *Runner) *Table10Result {
 	for _, bm := range workload.Selected() {
 		pin := r.Run(bm, "fdrt", cfgs["fdrt"])
 		nop := r.Run(bm, "fdrt-nopin", cfgs["fdrt-nopin"])
+		if !statsOK(pin, nop) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name,
 			[]float64{pin.IntraClusterFrac(), nop.IntraClusterFrac()}})
 	}
@@ -303,10 +325,14 @@ func Figure8(r *Runner) *Figure8Result {
 		r.Prefetch(workload.Selected(), cfgs)
 		for _, bm := range workload.Selected() {
 			b := r.Run(bm, name+"/base", cfgs[name+"/base"])
+			fd := r.Run(bm, name+"/fdrt", cfgs[name+"/fdrt"])
+			fr := r.Run(bm, name+"/friendly", cfgs[name+"/friendly"])
+			is := r.Run(bm, name+"/issue", cfgs[name+"/issue"])
+			if !statsOK(b, fd, fr, is) {
+				continue
+			}
 			res.Configs[name] = append(res.Configs[name], BenchRow{bm.Name, []float64{
-				speedup(b, r.Run(bm, name+"/fdrt", cfgs[name+"/fdrt"])),
-				speedup(b, r.Run(bm, name+"/friendly", cfgs[name+"/friendly"])),
-				speedup(b, r.Run(bm, name+"/issue", cfgs[name+"/issue"])),
+				speedup(b, fd), speedup(b, fr), speedup(b, is),
 			}})
 		}
 	}
@@ -354,11 +380,15 @@ func Figure9(r *Runner) *Figure9Result {
 		r.Prefetch(bms, cfgs)
 		for _, bm := range bms {
 			b := r.Run(bm, "base", cfgs["base"])
+			i0 := r.Run(bm, "issue0", cfgs["issue0"])
+			i4 := r.Run(bm, "issue4", cfgs["issue4"])
+			fd := r.Run(bm, "fdrt", cfgs["fdrt"])
+			fr := r.Run(bm, "friendly", cfgs["friendly"])
+			if !statsOK(b, i0, i4, fd, fr) {
+				continue
+			}
 			res.Rows[name] = append(res.Rows[name], BenchRow{bm.Name, []float64{
-				speedup(b, r.Run(bm, "issue0", cfgs["issue0"])),
-				speedup(b, r.Run(bm, "issue4", cfgs["issue4"])),
-				speedup(b, r.Run(bm, "fdrt", cfgs["fdrt"])),
-				speedup(b, r.Run(bm, "friendly", cfgs["friendly"])),
+				speedup(b, i0), speedup(b, i4), speedup(b, fd), speedup(b, fr),
 			}})
 		}
 		res.Suites[name] = columnHM(res.Rows[name], 4)

@@ -7,9 +7,13 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"ctcp/internal/core"
+	"ctcp/internal/isa"
 	"ctcp/internal/pipeline"
 	"ctcp/internal/workload"
 )
@@ -19,23 +23,105 @@ import (
 // state within a few hundred thousand (DESIGN.md substitution #4).
 const DefaultBudget = 200_000
 
+// ProgressKind classifies a Runner progress event.
+type ProgressKind int
+
+const (
+	// RunStarted: a new (benchmark, config) key began simulating.
+	RunStarted ProgressKind = iota
+	// RunCompleted: the simulation finished successfully.
+	RunCompleted
+	// RunFailed: the simulation aborted with a pipeline.SimError.
+	RunFailed
+	// RunDeduped: a caller joined a simulation already in flight for the
+	// same key instead of starting a duplicate.
+	RunDeduped
+	// RunCached: a caller was satisfied from the completed-run cache.
+	RunCached
+)
+
+// String returns the event name used in -v logs.
+func (k ProgressKind) String() string {
+	switch k {
+	case RunStarted:
+		return "start"
+	case RunCompleted:
+		return "done"
+	case RunFailed:
+		return "fail"
+	case RunDeduped:
+		return "dedup"
+	case RunCached:
+		return "hit"
+	}
+	return "unknown"
+}
+
+// ProgressEvent is one observable runner action, delivered to
+// Options.Progress.
+type ProgressEvent struct {
+	Kind ProgressKind
+	Key  string        // "benchmark/config"
+	Wall time.Duration // simulation wall time (RunCompleted, RunFailed)
+	Err  error         // the failure (RunFailed)
+}
+
 // Options configures a Runner.
 type Options struct {
 	// Budget is the committed-instruction count per run (0 = DefaultBudget).
 	Budget uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, if non-nil, receives one event per runner action. It is
+	// called from simulation goroutines and must be safe for concurrent use.
+	Progress func(ProgressEvent)
+}
+
+// RunnerStats is a point-in-time snapshot of a Runner's execution counters.
+type RunnerStats struct {
+	Started   uint64 // simulations begun
+	Completed uint64 // ...that finished successfully
+	Failed    uint64 // ...that aborted with a SimError
+	Deduped   uint64 // callers who joined an in-flight simulation
+	CacheHits uint64 // callers satisfied from the completed-run cache
+	// Wall holds per-key simulation wall time for every finished run.
+	Wall map[string]time.Duration
+}
+
+// String renders the counters on one line (the Wall map is omitted).
+func (s RunnerStats) String() string {
+	return fmt.Sprintf("%d simulated (%d failed), %d cache hits, %d deduped",
+		s.Started, s.Failed, s.CacheHits, s.Deduped)
+}
+
+// runEntry is the singleflight cell for one (benchmark, config) key: the
+// first caller becomes the leader and simulates; everyone else blocks on
+// done and shares the result. Exactly one simulation runs per key.
+type runEntry struct {
+	done  chan struct{} // closed when stats/err/wall are final
+	stats *pipeline.Stats
+	err   error
+	wall  time.Duration
 }
 
 // Runner executes and memoizes benchmark/configuration simulations. All
 // experiments share one Runner so configurations reused across tables (the
-// base, Friendly and FDRT runs appear in many) are simulated once.
+// base, Friendly and FDRT runs appear in many) are simulated once — even
+// when requested concurrently. A failed simulation is recorded per key
+// (see Errors, FailureSummary) and does not poison other keys.
 type Runner struct {
 	opts Options
 
 	mu    sync.Mutex
-	cache map[string]*pipeline.Stats
-	sem   chan struct{}
+	cache map[string]*runEntry
+
+	started, completed, failed, deduped, cacheHits uint64
+
+	sem chan struct{}
+
+	// runFn executes one prepared simulation; tests hook it to count runs
+	// and inject failures.
+	runFn func(prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error)
 }
 
 // NewRunner builds a Runner.
@@ -48,50 +134,209 @@ func NewRunner(opts Options) *Runner {
 	}
 	return &Runner{
 		opts:  opts,
-		cache: make(map[string]*pipeline.Stats),
+		cache: make(map[string]*runEntry),
 		sem:   make(chan struct{}, opts.Parallelism),
+		runFn: pipeline.RunProgramErr,
 	}
 }
 
 // Budget returns the per-run instruction budget.
 func (r *Runner) Budget() uint64 { return r.opts.Budget }
 
-// Run simulates bm under cfg (cached by benchmark name + cfgKey).
-func (r *Runner) Run(bm workload.Benchmark, cfgKey string, cfg pipeline.Config) *pipeline.Stats {
-	key := bm.Name + "/" + cfgKey
-	r.mu.Lock()
-	if s, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return s
+func (r *Runner) emit(ev ProgressEvent) {
+	if r.opts.Progress != nil {
+		r.opts.Progress(ev)
 	}
-	r.mu.Unlock()
+}
 
-	r.sem <- struct{}{}
-	prog := bm.ProgramFor(r.opts.Budget)
-	cfg.MaxInsts = r.opts.Budget
-	s := pipeline.RunProgram(prog, cfg)
-	<-r.sem
-
-	r.mu.Lock()
-	r.cache[key] = s
-	r.mu.Unlock()
+// Run simulates bm under cfg (cached by benchmark name + cfgKey). It
+// returns nil when the simulation failed; the error stays recorded in the
+// Runner (Errors, FailureSummary) so artifact builders can skip the row and
+// keep going. Use RunErr to observe the error directly.
+func (r *Runner) Run(bm workload.Benchmark, cfgKey string, cfg pipeline.Config) *pipeline.Stats {
+	s, _ := r.RunErr(bm, cfgKey, cfg)
 	return s
 }
 
+// RunErr simulates bm under cfg and returns the stats or the recorded
+// per-key error. Concurrent callers with the same key share one underlying
+// simulation (singleflight); later callers get cache hits.
+func (r *Runner) RunErr(bm workload.Benchmark, cfgKey string, cfg pipeline.Config) (*pipeline.Stats, error) {
+	key := bm.Name + "/" + cfgKey
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		// Someone already owns this key: either the run is finished (cache
+		// hit) or in flight (join it instead of simulating a duplicate).
+		select {
+		case <-e.done:
+			r.cacheHits++
+			r.mu.Unlock()
+			r.emit(ProgressEvent{Kind: RunCached, Key: key, Wall: e.wall, Err: e.err})
+		default:
+			r.deduped++
+			r.mu.Unlock()
+			r.emit(ProgressEvent{Kind: RunDeduped, Key: key})
+			<-e.done
+		}
+		return e.stats, e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.started++
+	r.mu.Unlock()
+	r.emit(ProgressEvent{Kind: RunStarted, Key: key})
+
+	func() {
+		// The leader must always publish, or waiters deadlock; simulate
+		// recovers panics (including from hooked run functions) into errors.
+		defer close(e.done)
+		start := time.Now()
+		e.stats, e.err = r.simulate(bm, cfg)
+		e.wall = time.Since(start)
+	}()
+
+	r.mu.Lock()
+	if e.err != nil {
+		r.failed++
+	} else {
+		r.completed++
+	}
+	r.mu.Unlock()
+	if e.err != nil {
+		r.emit(ProgressEvent{Kind: RunFailed, Key: key, Wall: e.wall, Err: e.err})
+	} else {
+		r.emit(ProgressEvent{Kind: RunCompleted, Key: key, Wall: e.wall})
+	}
+	return e.stats, e.err
+}
+
+// simulate executes one run, holding a semaphore slot only around the
+// cycle-level model: program generation is memoized and cheap, so it must
+// not occupy a simulation slot.
+func (r *Runner) simulate(bm workload.Benchmark, cfg pipeline.Config) (s *pipeline.Stats, err error) {
+	defer func() {
+		// Safety net for panics escaping runFn itself (RunProgramErr already
+		// recovers model panics; this catches hooked or future run paths).
+		if rec := recover(); rec != nil {
+			s, err = nil, &pipeline.SimError{Reason: fmt.Sprint(rec)}
+		}
+	}()
+	prog := bm.ProgramFor(r.opts.Budget)
+	cfg.MaxInsts = r.opts.Budget
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	return r.runFn(prog, cfg)
+}
+
 // Prefetch runs the given benchmark/config pairs concurrently so later
-// cache hits are instant. Experiments call it with their full matrix.
+// cache hits are instant. Experiments call it with their full matrix. The
+// fan-out is a fixed worker pool (Options.Parallelism workers over a job
+// channel), not one goroutine per pair, so arbitrarily large matrices run
+// with bounded concurrency.
 func (r *Runner) Prefetch(bms []workload.Benchmark, cfgs map[string]pipeline.Config) {
+	type job struct {
+		bm  workload.Benchmark
+		key string
+		cfg pipeline.Config
+	}
+	n := len(bms) * len(cfgs)
+	if n == 0 {
+		return
+	}
+	workers := r.opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan job)
 	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r.RunErr(j.bm, j.key, j.cfg)
+			}
+		}()
+	}
 	for _, bm := range bms {
 		for key, cfg := range cfgs {
-			wg.Add(1)
-			go func(bm workload.Benchmark, key string, cfg pipeline.Config) {
-				defer wg.Done()
-				r.Run(bm, key, cfg)
-			}(bm, key, cfg)
+			jobs <- job{bm, key, cfg}
 		}
 	}
+	close(jobs)
 	wg.Wait()
+}
+
+// Stats returns a snapshot of the runner's execution counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RunnerStats{
+		Started:   r.started,
+		Completed: r.completed,
+		Failed:    r.failed,
+		Deduped:   r.deduped,
+		CacheHits: r.cacheHits,
+		Wall:      make(map[string]time.Duration, len(r.cache)),
+	}
+	for k, e := range r.cache {
+		select {
+		case <-e.done:
+			out.Wall[k] = e.wall
+		default:
+		}
+	}
+	return out
+}
+
+// Errors returns the recorded failures, keyed by "benchmark/config".
+// In-flight runs are not included.
+func (r *Runner) Errors() map[string]error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]error)
+	for k, e := range r.cache {
+		select {
+		case <-e.done:
+			if e.err != nil {
+				out[k] = e.err
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// FailureSummary renders the recorded failures one per line, sorted by key;
+// it returns "" when every run succeeded.
+func (r *Runner) FailureSummary() string {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(errs))
+	for k := range errs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d simulation(s) failed:\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-28s %v\n", k, errs[k])
+	}
+	return b.String()
+}
+
+// statsOK reports whether every run in ss succeeded. Artifact builders use
+// it to drop a benchmark's row instead of rendering garbage when one of its
+// runs failed (the failure itself stays recorded in the Runner).
+func statsOK(ss ...*pipeline.Stats) bool {
+	for _, s := range ss {
+		if s == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // --- shared configurations ---
@@ -114,9 +359,11 @@ func StrategyConfigs() map[string]pipeline.Config {
 	}
 }
 
-// speedup returns baseCycles/cycles.
+// speedup returns baseCycles/cycles; it reports 0 (which HarmonicMean
+// rejects visibly) when either run is missing or degenerate, so a failed
+// base run cannot divide garbage once errors are non-fatal.
 func speedup(base, s *pipeline.Stats) float64 {
-	if s.Cycles == 0 {
+	if base == nil || s == nil || base.Cycles == 0 || s.Cycles == 0 {
 		return 0
 	}
 	return float64(base.Cycles) / float64(s.Cycles)

@@ -41,6 +41,9 @@ func sweep(r *Runner, param string, points []struct {
 		for _, bm := range workload.Selected() {
 			b := r.Run(bm, keyB, base)
 			f := r.Run(bm, keyF, fdrt)
+			if !statsOK(b, f) {
+				continue
+			}
 			ipcs = append(ipcs, b.IPC())
 			speeds = append(speeds, speedup(b, f))
 		}

@@ -26,6 +26,9 @@ func Table1(r *Runner) *Table1Result {
 	r.Prefetch(workload.Selected(), map[string]pipeline.Config{"base": base})
 	for _, bm := range workload.Selected() {
 		s := r.Run(bm, "base", base)
+		if !statsOK(s) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{s.PctFromTC(), s.AvgTraceSize()}})
 	}
 	return res
@@ -63,6 +66,9 @@ func Figure4(r *Runner) *Figure4Result {
 	res := &Figure4Result{}
 	for _, bm := range workload.Selected() {
 		s := r.Run(bm, "base", base)
+		if !statsOK(s) {
+			continue
+		}
 		wi := float64(s.WithInputs)
 		if wi == 0 {
 			wi = 1
@@ -112,6 +118,9 @@ func Table2(r *Runner) *Table2Result {
 	}}
 	for _, bm := range workload.Selected() {
 		s := r.Run(bm, "base", base)
+		if !statsOK(s) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name,
 			[]float64{s.CritFwdFrac(), s.CritInterTraceFrac()}})
 	}
@@ -153,6 +162,9 @@ func Table3(r *Runner) *Table3Result {
 	}}
 	for _, bm := range workload.Selected() {
 		s := r.Run(bm, "base", base)
+		if !statsOK(s) {
+			continue
+		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{
 			s.RepeatRateRS1(), s.RepeatRateRS2(),
 			s.RepeatRateCritRS1Inter(), s.RepeatRateCritRS2Inter(),
@@ -207,9 +219,15 @@ func Figure5(r *Runner) *Figure5Result {
 	res := &Figure5Result{}
 	for _, bm := range workload.Selected() {
 		b := r.Run(bm, "base", cfgs["base"])
+		ok := statsOK(b)
 		var vals []float64
 		for _, key := range []string{"noFwd", "noCrit", "noIntra", "noInter", "noRF"} {
-			vals = append(vals, speedup(b, r.Run(bm, key, cfgs[key])))
+			s := r.Run(bm, key, cfgs[key])
+			ok = ok && statsOK(s)
+			vals = append(vals, speedup(b, s))
+		}
+		if !ok {
+			continue
 		}
 		res.Rows = append(res.Rows, BenchRow{bm.Name, vals})
 	}

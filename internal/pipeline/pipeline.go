@@ -146,8 +146,9 @@ func (p *Pipeline) Run() *Stats {
 			p.now = p.nextEvent()
 		}
 		if p.now-p.lastRetireCycle > 2_000_000 {
-			panic(fmt.Sprintf("pipeline: no retirement progress near cycle %d (rob=%d fetchQ=%d)",
-				p.now, len(p.rob), len(p.fetchQ)))
+			panic(&core.InvariantError{Msg: fmt.Sprintf(
+				"pipeline: no retirement progress near cycle %d (rob=%d fetchQ=%d)",
+				p.now, len(p.rob), len(p.fetchQ))})
 		}
 	}
 	p.fill.Flush()

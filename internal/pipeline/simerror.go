@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"ctcp/internal/isa"
+)
+
+// SimError reports a simulation that aborted on an internal invariant
+// failure (forward-progress watchdog, fill-unit assignment completeness,
+// structural-parameter validation, ...). The cycle model signals such
+// failures by panicking; RunProgramErr converts the panic into a *SimError
+// at the run boundary so one pathological configuration cannot take down a
+// whole experiment sweep.
+type SimError struct {
+	// Reason is the rendered panic value.
+	Reason string
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack string
+}
+
+// Error implements error.
+func (e *SimError) Error() string { return "pipeline: simulation aborted: " + e.Reason }
+
+// RunProgramErr is RunProgram with graceful degradation: a panic raised
+// anywhere inside the model is recovered and returned as a *SimError
+// instead of crashing the process. Callers running many configurations
+// (the experiment Runner, cmd/ctcpbench) use this entry point so completed
+// work survives one bad run.
+func RunProgramErr(prog *isa.Program, cfg Config) (s *Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s = nil
+			err = &SimError{Reason: fmt.Sprint(rec), Stack: string(debug.Stack())}
+		}
+	}()
+	return RunProgram(prog, cfg), nil
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ctcp/internal/workload"
+)
+
+func TestRunProgramErrSuccess(t *testing.T) {
+	bm, _ := workload.ByName("gzip")
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 10_000
+	s, err := RunProgramErr(bm.ProgramFor(10_000), cfg)
+	if err != nil {
+		t.Fatalf("RunProgramErr failed on a healthy config: %v", err)
+	}
+	if s == nil || s.Retired != 10_000 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRunProgramErrRecoversPanic(t *testing.T) {
+	bm, _ := workload.ByName("gzip")
+	cfg := DefaultConfig()
+	cfg.Geom.Clusters = 0 // no valid steering target: the model panics
+	cfg.MaxInsts = 5_000
+	s, err := RunProgramErr(bm.ProgramFor(5_000), cfg)
+	if s != nil {
+		t.Errorf("stats = %+v, want nil on aborted run", s)
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *SimError", err, err)
+	}
+	if se.Reason == "" || se.Stack == "" {
+		t.Errorf("SimError missing context: %+v", se)
+	}
+	if !strings.Contains(se.Error(), "simulation aborted") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}
+
+// TestRunProgramStillPanics pins the low-level contract: RunProgram itself
+// does not swallow invariant violations — only the Err boundary does.
+func TestRunProgramStillPanics(t *testing.T) {
+	bm, _ := workload.ByName("gzip")
+	cfg := DefaultConfig()
+	cfg.Geom.Clusters = 0
+	cfg.MaxInsts = 5_000
+	defer func() {
+		if recover() == nil {
+			t.Error("RunProgram did not panic on a pathological config")
+		}
+	}()
+	RunProgram(bm.ProgramFor(5_000), cfg)
+}
