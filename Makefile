@@ -18,5 +18,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the cycle-model microbenchmarks, then regenerates
+# BENCH_pipeline.json (current throughput next to the frozen pre-optimization
+# baseline) via the programmatic harness in internal/bench.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test ./internal/pipeline -run='^$$' -bench=. -benchmem -benchtime=1s
+	$(GO) run ./cmd/ctcpbench -microbench -bench-out BENCH_pipeline.json

@@ -6,6 +6,8 @@
 //	ctcpbench -exp fig6,table8     # selected artifacts
 //	ctcpbench -insts 500000        # bigger per-run budget
 //	ctcpbench -v                   # per-simulation progress on stderr
+//	ctcpbench -microbench          # simulator-throughput report -> BENCH_pipeline.json
+//	ctcpbench -cpuprofile cpu.out  # pprof capture of any of the above
 //
 // A simulation that aborts (pathological configuration) no longer crashes
 // the process: the failing key is recorded, every artifact that did
@@ -14,29 +16,82 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"ctcp/internal/bench"
 	"ctcp/internal/experiment"
 	"ctcp/internal/workload"
 )
 
+// main only parses flags and owns the process exit code; the body lives in
+// run so profile-teardown defers execute before os.Exit.
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
-		insts   = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
-		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "log each simulation start/finish/failure to stderr")
-		inject  = flag.Bool("inject-fault", false, "fault-injection self-test: run one deliberately pathological configuration and verify the sweep degrades gracefully (exits non-zero)")
+		exps       = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
+		insts      = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
+		par        = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "log each simulation start/finish/failure to stderr")
+		inject     = flag.Bool("inject-fault", false, "fault-injection self-test: run one deliberately pathological configuration and verify the sweep degrades gracefully (exits non-zero)")
+		micro      = flag.Bool("microbench", false, "measure simulator throughput per kernel and write the JSON report instead of regenerating artifacts")
+		benchOut   = flag.String("bench-out", "BENCH_pipeline.json", "output path for the -microbench report")
+		benchInsts = flag.Uint64("bench-insts", bench.DefaultInsts, "committed instruction budget per -microbench run")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+	os.Exit(run(*exps, *insts, *par, *verbose, *inject, *micro, *benchOut, *benchInsts, *cpuProf, *memProf))
+}
 
-	opts := experiment.Options{Budget: *insts, Parallelism: *par}
-	if *verbose {
+func run(exps string, insts uint64, par int, verbose, inject, micro bool, benchOut string, benchInsts uint64, cpuProf, memProf string) int {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctcpbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ctcpbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memProf != "" {
+		defer func() {
+			f, err := os.Create(memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ctcpbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ctcpbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if micro {
+		if err := runMicrobench(benchOut, benchInsts); err != nil {
+			fmt.Fprintf(os.Stderr, "ctcpbench: microbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	opts := experiment.Options{Budget: insts, Parallelism: par}
+	if verbose {
 		var mu sync.Mutex
 		opts.Progress = func(ev experiment.ProgressEvent) {
 			mu.Lock()
@@ -52,7 +107,7 @@ func main() {
 		}
 	}
 	r := experiment.NewRunner(opts)
-	if *inject {
+	if inject {
 		// A geometry with no clusters gives slot steering no valid target;
 		// the run aborts with a SimError that must be recorded, not fatal.
 		bad := experiment.BaseConfig()
@@ -86,17 +141,17 @@ func main() {
 	}
 
 	want := map[string]bool{}
-	if *exps == "all" {
+	if exps == "all" {
 		for _, e := range all {
 			want[e.name] = true
 		}
 	} else {
-		for _, name := range strings.Split(*exps, ",") {
+		for _, name := range strings.Split(exps, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
 	}
 
-	fmt.Printf("ctcpbench: budget %d instructions per run\n\n", *insts)
+	fmt.Printf("ctcpbench: budget %d instructions per run\n\n", insts)
 	ran := 0
 	var failedArtifacts []string
 	for _, e := range all {
@@ -117,7 +172,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "ctcpbench: no matching experiments (see -exp)")
-		os.Exit(1)
+		return 1
 	}
 
 	st := r.Stats()
@@ -132,7 +187,63 @@ func main() {
 			len(failedArtifacts), strings.Join(failedArtifacts, ", "))
 		exit = 1
 	}
-	os.Exit(exit)
+	return exit
+}
+
+// runMicrobench measures simulator throughput for every tracked kernel and
+// writes the JSON report. A baseline block already present in the output
+// file is preserved verbatim (it records the pre-optimization model and must
+// not be overwritten by re-runs); when the file is new, the frozen
+// bench.Baseline() measurement seeds it.
+func runMicrobench(path string, insts uint64) error {
+	file := bench.File{Baseline: bench.Baseline()}
+	if old, err := os.ReadFile(path); err == nil {
+		var prev bench.File
+		if err := json.Unmarshal(old, &prev); err == nil && len(prev.Baseline.Kernels) > 0 {
+			file.Baseline = prev.Baseline
+		}
+	}
+	fmt.Printf("ctcpbench: measuring simulator throughput (%d insts/run, strategy %s)\n",
+		insts, file.Baseline.Strategy)
+	cur, err := bench.Run(insts)
+	if err != nil {
+		return err
+	}
+	file.Current = cur
+
+	names := make([]string, 0, len(cur.Kernels))
+	for name := range cur.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s %12s %14s %12s %14s\n", "kernel", "ns/cycle", "cycles/s", "allocs/op", "vs baseline")
+	for _, name := range names {
+		m := cur.Kernels[name]
+		speedup := "-"
+		if b, ok := file.Baseline.Kernels[name]; ok && m.CyclesPerSec > 0 && b.CyclesPerSec > 0 {
+			speedup = fmt.Sprintf("%.2fx, %.1fx allocs",
+				m.CyclesPerSec/b.CyclesPerSec,
+				float64(b.AllocsPerOp)/float64(maxInt64(m.AllocsPerOp, 1)))
+		}
+		fmt.Printf("%-10s %12.1f %14.0f %12d %14s\n", name, m.NsPerCycle, m.CyclesPerSec, m.AllocsPerOp, speedup)
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ctcpbench: report written to %s\n", path)
+	return nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // renderArtifact runs one artifact builder, converting a panic anywhere in

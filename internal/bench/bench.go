@@ -1,0 +1,147 @@
+// Package bench measures cycle-model simulation throughput programmatically
+// (via testing.Benchmark) so tooling can emit machine-readable numbers
+// without parsing `go test -bench` output. `ctcpbench -microbench` uses it
+// to write BENCH_pipeline.json, which records the current measurement next
+// to the pre-optimization baseline the allocation-free hot path is compared
+// against.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ctcp/internal/core"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+// DefaultInsts is the per-run committed-instruction budget; it matches the
+// BenchmarkRunProgram budget in internal/pipeline so the JSON numbers and
+// `go test -bench` agree.
+const DefaultInsts = 30_000
+
+// Kernels lists the workloads the throughput report tracks: two pointer- and
+// branch-heavy integer codes, one cache-hostile pointer chaser, and one FP
+// kernel. It matches benchKernels in internal/pipeline's bench_test.
+var Kernels = []string{"gzip", "mcf", "eon", "perlbmk"}
+
+// Metrics is one kernel's simulation-throughput measurement.
+type Metrics struct {
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// Report is one full measurement of every kernel under one toolchain.
+type Report struct {
+	Label     string             `json:"label"`
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Insts     uint64             `json:"insts_per_run"`
+	Strategy  string             `json:"strategy"`
+	Kernels   map[string]Metrics `json:"kernels"`
+}
+
+// File is the BENCH_pipeline.json layout: the frozen pre-optimization
+// baseline plus the most recent measurement.
+type File struct {
+	Baseline Report `json:"baseline"`
+	Current  Report `json:"current"`
+}
+
+// Run measures simulation throughput for every kernel with the FDRT
+// strategy and an insts-instruction budget per op (0 selects DefaultInsts).
+func Run(insts uint64) (Report, error) {
+	if insts == 0 {
+		insts = DefaultInsts
+	}
+	rep := Report{
+		Label:     "current",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Insts:     insts,
+		Strategy:  core.FDRT.String(),
+		Kernels:   make(map[string]Metrics, len(Kernels)),
+	}
+	for _, name := range Kernels {
+		m, err := runKernel(name, insts)
+		if err != nil {
+			return rep, err
+		}
+		rep.Kernels[name] = m
+	}
+	return rep, nil
+}
+
+func runKernel(name string, insts uint64) (Metrics, error) {
+	bm, ok := workload.ByName(name)
+	if !ok {
+		return Metrics{}, fmt.Errorf("bench: unknown kernel %q", name)
+	}
+	prog := bm.ProgramFor(insts)
+	cfg := pipeline.DefaultConfig().WithStrategy(core.FDRT, false)
+	cfg.MaxInsts = insts
+	var cycles int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cycles = 0
+		for i := 0; i < b.N; i++ {
+			cycles += pipeline.RunProgram(prog, cfg).Cycles
+		}
+	})
+	if cycles <= 0 {
+		return Metrics{}, fmt.Errorf("bench: %s simulation made no progress", name)
+	}
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	cyclesPerOp := float64(cycles) / float64(r.N)
+	return Metrics{
+		Iterations:     r.N,
+		NsPerOp:        nsPerOp,
+		BytesPerOp:     r.AllocedBytesPerOp(),
+		AllocsPerOp:    r.AllocsPerOp(),
+		NsPerCycle:     nsPerOp / cyclesPerOp,
+		CyclesPerSec:   float64(cycles) / r.T.Seconds(),
+		AllocsPerCycle: float64(r.AllocsPerOp()) / cyclesPerOp,
+	}, nil
+}
+
+// Baseline returns the frozen pre-optimization measurement, taken at the
+// commit immediately before the allocation-free hot-path rewrite (map-based
+// port/producer bookkeeping, per-instruction inflight allocation,
+// filtered-append queue drains) on the reference machine recorded in GOOS /
+// GOARCH. It seeds BENCH_pipeline.json when no baseline is present.
+func Baseline() Report {
+	mk := func(iters int, nsPerOp, cyclesPerSec, nsPerCycle float64, bytesPerOp, allocsPerOp int64) Metrics {
+		cyclesPerOp := nsPerOp / nsPerCycle
+		return Metrics{
+			Iterations:     iters,
+			NsPerOp:        nsPerOp,
+			BytesPerOp:     bytesPerOp,
+			AllocsPerOp:    allocsPerOp,
+			NsPerCycle:     nsPerCycle,
+			CyclesPerSec:   cyclesPerSec,
+			AllocsPerCycle: float64(allocsPerOp) / cyclesPerOp,
+		}
+	}
+	return Report{
+		Label:     "pre-optimization seed model",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Insts:     DefaultInsts,
+		Strategy:  core.FDRT.String(),
+		Kernels: map[string]Metrics{
+			"gzip":    mk(25, 49253493, 305237, 3276, 37386276, 309651),
+			"mcf":     mk(19, 66291668, 953710, 1049, 39430614, 362876),
+			"eon":     mk(18, 61842860, 359379, 2783, 40872689, 340086),
+			"perlbmk": mk(24, 48134019, 884468, 1131, 45760338, 466881),
+		},
+	}
+}

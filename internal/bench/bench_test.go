@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunProducesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness run")
+	}
+	rep, err := Run(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kernels {
+		m, ok := rep.Kernels[k]
+		if !ok {
+			t.Fatalf("kernel %s missing from report", k)
+		}
+		if m.Iterations <= 0 || m.NsPerOp <= 0 || m.NsPerCycle <= 0 || m.CyclesPerSec <= 0 {
+			t.Errorf("%s: degenerate metrics %+v", k, m)
+		}
+	}
+}
+
+func TestBaselineRoundtrips(t *testing.T) {
+	base := Baseline()
+	for _, k := range Kernels {
+		if _, ok := base.Kernels[k]; !ok {
+			t.Fatalf("baseline missing kernel %s", k)
+		}
+	}
+	buf, err := json.Marshal(File{Baseline: base, Current: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Baseline.Kernels["gzip"].AllocsPerOp != base.Kernels["gzip"].AllocsPerOp {
+		t.Fatal("baseline did not roundtrip through JSON")
+	}
+}

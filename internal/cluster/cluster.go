@@ -164,40 +164,60 @@ func (k FUKind) String() string {
 	return [...]string{"alu0", "alu1", "mem", "br", "cpx", "fps", "fpc", "fpm"}[k]
 }
 
+// Shared station/unit capability slices. StationsFor and UnitsFor sit on the
+// per-instruction steering and issue paths, so they hand out these static
+// slices instead of building fresh literals; callers must treat the results
+// as read-only.
+var (
+	simpleStations = []RSKind{RSSimpleA, RSSimpleB}
+	memStations    = []RSKind{RSMem}
+	brStations     = []RSKind{RSBr}
+	cpxStations    = []RSKind{RSCpx}
+
+	aluUnits   = []FUKind{FUALU0, FUALU1}
+	fpAddUnits = []FUKind{FUFPSimple}
+	memUnits   = []FUKind{FUMem}
+	fpMemUnits = []FUKind{FUFPMem}
+	brUnits    = []FUKind{FUBr}
+	cpxUnits   = []FUKind{FUCpx}
+)
+
 // StationsFor returns the reservation stations that can hold an instruction
-// of the given class. Simple operations may use either simple station.
+// of the given class. Simple operations may use either simple station. The
+// returned slice is shared and must not be modified.
 func StationsFor(class isa.Class) []RSKind {
 	switch class {
 	case isa.ClassIntALU, isa.ClassFPAdd, isa.ClassNop, isa.ClassHalt:
-		return []RSKind{RSSimpleA, RSSimpleB}
+		return simpleStations
 	case isa.ClassLoad, isa.ClassStore, isa.ClassFPLoad, isa.ClassFPStore:
-		return []RSKind{RSMem}
+		return memStations
 	case isa.ClassBranch, isa.ClassJump, isa.ClassFPBranch:
-		return []RSKind{RSBr}
+		return brStations
 	case isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPSqrt:
-		return []RSKind{RSCpx}
+		return cpxStations
 	default:
-		return []RSKind{RSSimpleA, RSSimpleB}
+		return simpleStations
 	}
 }
 
-// UnitsFor returns the functional units that can execute the class.
+// UnitsFor returns the functional units that can execute the class. The
+// returned slice is shared and must not be modified.
 func UnitsFor(class isa.Class) []FUKind {
 	switch class {
 	case isa.ClassIntALU, isa.ClassNop, isa.ClassHalt:
-		return []FUKind{FUALU0, FUALU1}
+		return aluUnits
 	case isa.ClassFPAdd:
-		return []FUKind{FUFPSimple}
+		return fpAddUnits
 	case isa.ClassLoad, isa.ClassStore:
-		return []FUKind{FUMem}
+		return memUnits
 	case isa.ClassFPLoad, isa.ClassFPStore:
-		return []FUKind{FUFPMem}
+		return fpMemUnits
 	case isa.ClassBranch, isa.ClassJump, isa.ClassFPBranch:
-		return []FUKind{FUBr}
+		return brUnits
 	case isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPSqrt:
-		return []FUKind{FUCpx}
+		return cpxUnits
 	default:
-		return []FUKind{FUALU0, FUALU1}
+		return aluUnits
 	}
 }
 

@@ -65,6 +65,12 @@ func (s FillStats) ChainMigrationRate() float64 {
 // FillUnit consumes the retiring instruction stream, maintains cluster-chain
 // feedback, constructs traces, assigns clusters per the configured strategy,
 // and installs the finished lines into the trace cache.
+//
+// The fill unit runs once per retired instruction, so its assignment pass is
+// part of the simulator's hot path: cluster priority orders that depend only
+// on the geometry are computed once at construction, and all per-trace
+// working state lives in reusable scratch buffers rather than per-call
+// allocations.
 type FillUnit struct {
 	cfg     Config
 	builder *trace.Builder
@@ -76,6 +82,21 @@ type FillUnit struct {
 	// for the migration statistics of Table 9.
 	lastCluster map[uint64]int
 
+	// Geometry-derived cluster orders, fixed for the fill unit's lifetime.
+	selfFirst [][]int // selfFirst[c] = [c, neighbors of c middle-most first]
+	midsTrunc []int   // the Clusters/2 (min 1) middle-most clusters
+	natOrder  []int   // slot indices 0..TotalWidth-1
+	midOrder  []int   // slot indices grouped by cluster, middle-most first
+
+	// Per-trace scratch, reused across traces.
+	assigned  []int
+	capacity  []int
+	prods     [][2]int
+	consumers []bool
+	order     []int
+	nextSlot  []int
+	seqIdx    map[uint64]int
+
 	S FillStats
 }
 
@@ -85,13 +106,42 @@ func NewFillUnit(cfg Config, tc *trace.Cache) *FillUnit {
 	if capLimit == 0 {
 		capLimit = 4 * cfg.Trace.Lines * cfg.Trace.MaxLen
 	}
-	return &FillUnit{
+	f := &FillUnit{
 		cfg:         cfg,
 		builder:     trace.NewBuilder(cfg.Trace),
 		tc:          tc,
 		chains:      NewChainProfile(capLimit),
 		lastCluster: make(map[uint64]int),
 	}
+	g := cfg.Geom
+	f.selfFirst = make([][]int, g.Clusters)
+	for c := 0; c < g.Clusters; c++ {
+		f.selfFirst[c] = append([]int{c}, g.Neighbors(c)...)
+	}
+	mids := g.MiddleClusters()
+	half := g.Clusters / 2
+	if half < 1 {
+		half = 1
+	}
+	f.midsTrunc = mids[:half]
+	f.natOrder = make([]int, g.TotalWidth())
+	for i := range f.natOrder {
+		f.natOrder[i] = i
+	}
+	for _, c := range mids {
+		for k := 0; k < g.Width; k++ {
+			f.midOrder = append(f.midOrder, c*g.Width+k)
+		}
+	}
+	f.capacity = make([]int, g.Clusters)
+	f.nextSlot = make([]int, g.Clusters)
+	f.assigned = make([]int, 0, cfg.Trace.MaxLen)
+	f.prods = make([][2]int, 0, cfg.Trace.MaxLen)
+	f.consumers = make([]bool, 0, cfg.Trace.MaxLen)
+	f.order = make([]int, 0, g.Clusters+2)
+	f.pending = make([]RetireInfo, 0, cfg.Trace.MaxLen)
+	f.seqIdx = make(map[uint64]int, cfg.Trace.MaxLen)
+	return f
 }
 
 // Chains exposes the chain profile table (the pipeline reads it when
@@ -117,13 +167,13 @@ func (f *FillUnit) Flush() {
 
 func (f *FillUnit) finishTrace(tr *trace.Trace) {
 	infos := f.pending
-	f.pending = nil
 	f.S.TracesBuilt++
 	f.S.InstsBuilt += uint64(len(tr.Slots))
 	f.assign(tr, infos)
 	tr.CheckSlotIndices(f.cfg.Trace.MaxLen)
 	f.recordMigration(tr)
 	f.tc.Install(tr)
+	f.pending = f.pending[:0]
 }
 
 // updateChains applies the leader/follower criteria of Table 4 using the
@@ -223,14 +273,16 @@ func (f *FillUnit) assign(tr *trace.Trace, infos []RetireInfo) {
 	}
 	switch f.cfg.Strategy {
 	case Friendly:
-		assignment := friendlyAssign(tr, f.cfg.Geom, naturalSlotOrder(f.cfg.Geom), nil)
-		materialize(tr, f.cfg.Geom, assignment)
+		f.resetAssign(len(tr.Slots))
+		f.friendlyAssign(tr, f.natOrder, f.intraProducers(tr))
+		f.materialize(tr)
 	case FriendlyMiddle:
-		assignment := friendlyAssign(tr, f.cfg.Geom, middleSlotOrder(f.cfg.Geom), nil)
-		materialize(tr, f.cfg.Geom, assignment)
+		f.resetAssign(len(tr.Slots))
+		f.friendlyAssign(tr, f.midOrder, f.intraProducers(tr))
+		f.materialize(tr)
 	case FDRT, FDRTNoPin:
-		assignment := f.fdrtAssign(tr, infos)
-		materialize(tr, f.cfg.Geom, assignment)
+		f.fdrtAssign(tr, infos)
+		f.materialize(tr)
 	default: // Base, IssueTime: identity placement
 		for i := range tr.Slots {
 			tr.Slots[i].SlotIndex = i
@@ -239,110 +291,106 @@ func (f *FillUnit) assign(tr *trace.Trace, infos []RetireInfo) {
 	}
 }
 
-// naturalSlotOrder returns slot indices 0..TotalWidth-1.
-func naturalSlotOrder(g cluster.Geometry) []int {
-	out := make([]int, g.TotalWidth())
-	for i := range out {
-		out[i] = i
+// resetAssign clears the per-trace assignment scratch: no instruction
+// placed, full Width capacity in every cluster.
+func (f *FillUnit) resetAssign(n int) {
+	f.assigned = f.assigned[:0]
+	for i := 0; i < n; i++ {
+		f.assigned = append(f.assigned, -1)
 	}
-	return out
+	for c := range f.capacity {
+		f.capacity[c] = f.cfg.Geom.Width
+	}
 }
 
-// middleSlotOrder returns slot indices grouped by cluster, middle clusters
-// first, so a scan fills the middle of the machine before the ends.
-func middleSlotOrder(g cluster.Geometry) []int {
-	var out []int
-	for _, c := range g.MiddleClusters() {
-		for k := 0; k < g.Width; k++ {
-			out = append(out, c*g.Width+k)
+// tryAssign places instruction i into the first cluster of the priority
+// order with spare capacity.
+func (f *FillUnit) tryAssign(i int, clusters []int) bool {
+	for _, c := range clusters {
+		if c >= 0 && c < f.cfg.Geom.Clusters && f.capacity[c] > 0 {
+			f.assigned[i] = c
+			f.capacity[c]--
+			return true
 		}
 	}
-	return out
+	return false
 }
 
-// staticIntraProducers returns, for each slot, the logical index of the
+// intraProducers fills and returns, for each slot, the logical index of the
 // nearest earlier slot writing one of its source registers (-1 if none).
-// Index 0 is RS1's producer, index 1 is RS2's.
-func staticIntraProducers(tr *trace.Trace) [][2]int {
-	out := make([][2]int, len(tr.Slots))
-	lastDef := map[isa.Reg]int{}
+// Index 0 is RS1's producer, index 1 is RS2's. The result aliases the fill
+// unit's scratch buffer and is valid until the next trace.
+func (f *FillUnit) intraProducers(tr *trace.Trace) [][2]int {
+	f.prods = f.prods[:0]
+	var lastDef [isa.NumRegs]int
+	for i := range lastDef {
+		lastDef[i] = -1
+	}
 	for i := range tr.Slots {
 		s1, s2 := tr.Slots[i].Inst.Srcs()
-		out[i] = [2]int{-1, -1}
+		p := [2]int{-1, -1}
 		if s1 != isa.NoReg {
-			if j, ok := lastDef[s1]; ok {
-				out[i][0] = j
-			}
+			p[0] = lastDef[s1]
 		}
 		if s2 != isa.NoReg {
-			if j, ok := lastDef[s2]; ok {
-				out[i][1] = j
-			}
+			p[1] = lastDef[s2]
 		}
+		f.prods = append(f.prods, p)
 		if d := tr.Slots[i].Inst.Dest(); d != isa.NoReg {
 			lastDef[d] = i
 		}
 	}
-	return out
+	return f.prods
 }
 
-// staticIntraConsumers reports, for each slot, whether a later slot reads its
-// destination before it is redefined.
-func staticIntraConsumers(tr *trace.Trace) []bool {
-	out := make([]bool, len(tr.Slots))
-	prods := staticIntraProducers(tr)
-	for i := range tr.Slots {
+// intraConsumers fills and returns, for each slot, whether a later slot
+// reads its destination before it is redefined; prods must be the matching
+// intraProducers result.
+func (f *FillUnit) intraConsumers(tr *trace.Trace, prods [][2]int) []bool {
+	f.consumers = f.consumers[:0]
+	for range tr.Slots {
+		f.consumers = append(f.consumers, false)
+	}
+	for i := range prods {
 		for _, p := range prods[i] {
 			if p >= 0 {
-				out[p] = true
+				f.consumers[p] = true
 			}
 		}
 	}
-	return out
+	return f.consumers
 }
 
 // friendlyAssign implements the prior retire-time scheme: walk issue slots
 // in slotOrder; for each slot, choose the oldest unplaced instruction with a
 // static intra-trace input dependence on an instruction already assigned to
-// that slot's cluster, else the oldest unplaced instruction. preassigned
-// (may be nil) carries clusters already fixed by FDRT; only unassigned
-// instructions (-1) are placed, into clusters with spare capacity.
-func friendlyAssign(tr *trace.Trace, g cluster.Geometry, slotOrder []int, preassigned []int) []int {
+// that slot's cluster, else the oldest unplaced instruction. It operates on
+// the current f.assigned/f.capacity state, so clusters already fixed by FDRT
+// are respected and only unassigned instructions (-1) are placed.
+func (f *FillUnit) friendlyAssign(tr *trace.Trace, slotOrder []int, prods [][2]int) {
+	g := f.cfg.Geom
 	n := len(tr.Slots)
-	assigned := make([]int, n)
-	capacity := make([]int, g.Clusters)
-	for c := range capacity {
-		capacity[c] = g.Width
-	}
-	for i := range assigned {
-		assigned[i] = -1
-	}
-	remaining := n
-	if preassigned != nil {
-		for i, c := range preassigned {
-			if c >= 0 {
-				assigned[i] = c
-				capacity[c]--
-				remaining--
-			}
+	remaining := 0
+	for _, c := range f.assigned {
+		if c < 0 {
+			remaining++
 		}
 	}
-	prods := staticIntraProducers(tr)
 	for _, slot := range slotOrder {
 		if remaining == 0 {
 			break
 		}
 		c := g.SlotCluster(slot)
-		if capacity[c] <= 0 {
+		if f.capacity[c] <= 0 {
 			continue
 		}
 		pick := -1
 		for i := 0; i < n; i++ {
-			if assigned[i] >= 0 {
+			if f.assigned[i] >= 0 {
 				continue
 			}
 			for _, p := range prods[i] {
-				if p >= 0 && assigned[p] == c {
+				if p >= 0 && f.assigned[p] == c {
 					pick = i
 					break
 				}
@@ -353,17 +401,16 @@ func friendlyAssign(tr *trace.Trace, g cluster.Geometry, slotOrder []int, preass
 		}
 		if pick < 0 {
 			for i := 0; i < n; i++ {
-				if assigned[i] < 0 {
+				if f.assigned[i] < 0 {
 					pick = i
 					break
 				}
 			}
 		}
-		assigned[pick] = c
-		capacity[c]--
+		f.assigned[pick] = c
+		f.capacity[c]--
 		remaining--
 	}
-	return assigned
 }
 
 // fdrtAssign implements Table 5. It walks instructions oldest to youngest,
@@ -371,39 +418,21 @@ func friendlyAssign(tr *trace.Trace, g cluster.Geometry, slotOrder []int, preass
 // intra-trace consumer), and tries the published cluster priority lists.
 // Instructions that cannot be placed are assigned afterwards with Friendly's
 // slot scan over the remaining capacity.
-func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
+func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) {
 	g := f.cfg.Geom
 	n := len(tr.Slots)
-	assigned := make([]int, n)
-	for i := range assigned {
-		assigned[i] = -1
-	}
-	capacity := make([]int, g.Clusters)
-	for c := range capacity {
-		capacity[c] = g.Width
-	}
+	f.resetAssign(n)
 	// Map commit sequence numbers to logical indices for dynamic
 	// critical-producer identification.
-	seqIdx := make(map[uint64]int, n)
+	clear(f.seqIdx)
 	if len(infos) == n {
 		for i, inf := range infos {
-			seqIdx[inf.Rec.Seq] = i
+			f.seqIdx[inf.Rec.Seq] = i
 		}
 	}
-	consumers := staticIntraConsumers(tr)
-	statics := staticIntraProducers(tr)
+	statics := f.intraProducers(tr)
+	consumers := f.intraConsumers(tr, statics)
 	const useStaticFallback = true
-
-	tryAssign := func(i int, clusters ...int) bool {
-		for _, c := range clusters {
-			if c >= 0 && c < g.Clusters && capacity[c] > 0 {
-				assigned[i] = c
-				capacity[c]--
-				return true
-			}
-		}
-		return false
-	}
 
 	for i := 0; i < n; i++ {
 		// Critical intra-trace producer: the instruction's last-arriving
@@ -416,16 +445,16 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
 		if len(infos) == n {
 			inf := infos[i]
 			if inf.CritSrc != CritNone {
-				if j, ok := seqIdx[inf.CritProducerSeq]; ok && j < i && assigned[j] >= 0 {
-					prodCl = assigned[j]
+				if j, ok := f.seqIdx[inf.CritProducerSeq]; ok && j < i && f.assigned[j] >= 0 {
+					prodCl = f.assigned[j]
 					critIntra = true
 				}
 			}
 		}
 		if prodCl < 0 && useStaticFallback {
 			for _, j := range statics[i] {
-				if j >= 0 && assigned[j] >= 0 {
-					prodCl = assigned[j]
+				if j >= 0 && f.assigned[j] >= 0 {
+					prodCl = f.assigned[j]
 				}
 			}
 		}
@@ -437,15 +466,15 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
 		switch {
 		case prodCl >= 0 && chainCl < 0: // Option A
 			f.S.OptionA++
-			if !tryAssign(i, append([]int{prodCl}, g.Neighbors(prodCl)...)...) {
+			if !f.tryAssign(i, f.selfFirst[prodCl]) {
 				f.S.Skipped++
 			}
 		case prodCl < 0 && chainCl >= 0: // Option B
 			f.S.OptionB++
-			if !tryAssign(i, append([]int{chainCl}, g.Neighbors(chainCl)...)...) {
+			if !f.tryAssign(i, f.selfFirst[chainCl]) {
 				f.S.Skipped++
 			}
-			if assigned[i] != chainCl {
+			if f.assigned[i] != chainCl {
 				// The member could not be placed on its chain cluster: its
 				// profile bits are not rewritten into the new line (the
 				// designation decays), so the chain re-forms around current
@@ -457,16 +486,18 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
 			// The observed critical input arbitrates: an intra-trace critical
 			// input pulls toward the producer, an inter-trace one toward the
 			// chain cluster.
-			var order []int
+			f.order = f.order[:0]
 			if critIntra {
-				order = append([]int{prodCl, chainCl}, g.Neighbors(prodCl)...)
+				f.order = append(f.order, prodCl, chainCl)
+				f.order = append(f.order, f.selfFirst[prodCl][1:]...)
 			} else {
-				order = append([]int{chainCl, prodCl}, g.Neighbors(chainCl)...)
+				f.order = append(f.order, chainCl, prodCl)
+				f.order = append(f.order, f.selfFirst[chainCl][1:]...)
 			}
-			if !tryAssign(i, order...) {
+			if !f.tryAssign(i, f.order) {
 				f.S.Skipped++
 			}
-			if assigned[i] != chainCl {
+			if f.assigned[i] != chainCl {
 				tr.Slots[i].Profile = trace.Profile{} // designation decays
 			}
 		case consumers[i]: // Option D
@@ -474,12 +505,7 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
 			// Only the true middle clusters are tried ("1. middle 2. skip"):
 			// producers that do not fit funnel back through the Friendly
 			// fallback instead of displacing option-A consumers.
-			mids := g.MiddleClusters()
-			n := g.Clusters / 2
-			if n < 1 {
-				n = 1
-			}
-			if !tryAssign(i, mids[:n]...) {
+			if !f.tryAssign(i, f.midsTrunc) {
 				f.S.Skipped++
 			}
 		default: // Option E
@@ -487,23 +513,27 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) []int {
 		}
 	}
 	// Friendly fallback for everything unassigned.
-	return friendlyAssign(tr, g, naturalSlotOrder(g), assigned)
+	f.friendlyAssign(tr, f.natOrder, statics)
 }
 
-// materialize turns a per-instruction cluster assignment into physical slot
-// indices: instructions assigned to cluster c occupy slots c*W, c*W+1, ...
-// in logical order, which preserves oldest-first selection within a cluster.
-func materialize(tr *trace.Trace, g cluster.Geometry, assigned []int) {
-	next := make([]int, g.Clusters)
+// materialize turns the per-instruction cluster assignment into physical
+// slot indices: instructions assigned to cluster c occupy slots c*W, c*W+1,
+// ... in logical order, which preserves oldest-first selection within a
+// cluster.
+func (f *FillUnit) materialize(tr *trace.Trace) {
+	g := f.cfg.Geom
+	for c := range f.nextSlot {
+		f.nextSlot[c] = 0
+	}
 	for i := range tr.Slots {
-		c := assigned[i]
+		c := f.assigned[i]
 		if c < 0 || c >= g.Clusters {
 			panic(&InvariantError{Msg: fmt.Sprintf(
 				"core: materialize called with incomplete assignment (slot %d -> cluster %d of %d)",
 				i, c, g.Clusters)})
 		}
 		tr.Slots[i].Cluster = c
-		tr.Slots[i].SlotIndex = c*g.Width + next[c]
-		next[c]++
+		tr.Slots[i].SlotIndex = c*g.Width + f.nextSlot[c]
+		f.nextSlot[c]++
 	}
 }

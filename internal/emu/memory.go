@@ -1,5 +1,7 @@
 package emu
 
+import "sort"
+
 // Memory is a sparse, byte-addressable, little-endian memory. Pages are
 // allocated on first touch, so the 64-bit address space costs nothing until
 // used. Reads of untouched memory return zero, which matches the loader
@@ -114,3 +116,36 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 
 // PageCount returns the number of touched pages (test/diagnostic aid).
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Checksum folds the entire memory contents into one order-insensitive-
+// allocation, order-sensitive-content hash: pages are visited in ascending
+// address order and all-zero pages are skipped, so two memories with the
+// same byte contents hash identically regardless of which zero pages were
+// ever touched. Differential tests use it to compare architectural state.
+func (m *Memory) Checksum() uint64 {
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		h = h*prime + idx
+		for _, b := range p {
+			h = h*prime + uint64(b)
+		}
+	}
+	return h
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+// Microbenchmarks for the cycle-model hot path. Every paper artifact is a
+// full-matrix sweep over this loop, so ns/cycle and allocs/op here bound the
+// wall-clock of the whole experiment harness. BenchmarkCycle times the inner
+// p.cycle() step in isolation; BenchmarkRunProgram measures end-to-end
+// simulation throughput per kernel and reports ns/cycle and sim-cycles/sec.
+//
+// `make bench` runs these and records the numbers (plus the pre-optimization
+// baseline) in BENCH_pipeline.json.
+
+import (
+	"testing"
+
+	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/workload"
+)
+
+const benchInsts = 30_000
+
+// benchKernels are the kernels `make bench` tracks: two pointer/branch-heavy
+// integer codes, one cache-hostile pointer chaser, and one FP kernel.
+var benchKernels = []string{"gzip", "mcf", "eon", "perlbmk"}
+
+func BenchmarkCycle(b *testing.B) {
+	bm, ok := workload.ByName("gzip")
+	if !ok {
+		b.Fatal("gzip kernel missing")
+	}
+	prog := bm.ProgramFor(200_000)
+	cfg := DefaultConfig().WithStrategy(core.FDRT, false)
+	p := New(emu.New(prog), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.done() {
+			b.StopTimer()
+			p = New(emu.New(prog), cfg)
+			b.StartTimer()
+		}
+		if p.cycle() {
+			p.now++
+		} else {
+			p.now = p.nextEvent()
+		}
+	}
+}
+
+func BenchmarkRunProgram(b *testing.B) {
+	for _, name := range benchKernels {
+		bm, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("%s kernel missing", name)
+		}
+		prog := bm.ProgramFor(benchInsts)
+		cfg := DefaultConfig().WithStrategy(core.FDRT, false)
+		cfg.MaxInsts = benchInsts
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles += RunProgram(prog, cfg).Cycles
+			}
+			if cycles == 0 {
+				b.Fatal("simulation made no progress")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// active cycles into Stats.PipeTrace (0 = disabled); a debugging and
 	// teaching aid exposed through ctcpsim -pipetrace.
 	TraceCycles int
+	// RetireHook, when non-nil, observes every retired instruction in
+	// program order with the same record the fill unit receives. It exists
+	// for differential testing and external tracing; it must not retain the
+	// RetireInfo's pointers beyond the call.
+	RetireHook func(core.RetireInfo)
 }
 
 // DefaultConfig returns the paper's baseline CTCP (Table 7): 16-wide, four

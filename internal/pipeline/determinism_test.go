@@ -1,0 +1,46 @@
+package pipeline
+
+// Determinism: the cycle model must produce byte-identical statistics for
+// identical (program, config) inputs. The rewrite of the hot path replaced
+// map-based bookkeeping with dense arrays; any surviving dependence on map
+// iteration order (or on shared mutable state between concurrent runs)
+// breaks this test. The two runs execute concurrently so `go test -race`
+// also checks that independent pipelines share nothing mutable.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ctcp/internal/core"
+	"ctcp/internal/workload"
+)
+
+func TestDeterministicStatsAllStrategies(t *testing.T) {
+	bm, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip kernel missing")
+	}
+	prog := bm.ProgramFor(20_000)
+	for _, k := range []core.StrategyKind{core.Base, core.IssueTime, core.Friendly, core.FDRT} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig().WithStrategy(k, false)
+			cfg.MaxInsts = 20_000
+			results := make([]*Stats, 2)
+			var wg sync.WaitGroup
+			for i := range results {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = RunProgram(prog, cfg)
+				}(i)
+			}
+			wg.Wait()
+			if !reflect.DeepEqual(results[0], results[1]) {
+				t.Fatalf("two identical runs diverged:\n run0 %+v\n run1 %+v", results[0], results[1])
+			}
+		})
+	}
+}

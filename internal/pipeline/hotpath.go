@@ -1,0 +1,184 @@
+package pipeline
+
+// Allocation-free hot-path substrate. The cycle loop used to allocate on
+// every instruction (fresh inflight records, filtered-append queue drains,
+// map-based producer/port bookkeeping, per-cycle scratch slices); the types
+// here replace all of that with pooled objects, in-place deques, and dense
+// epoch-checked arrays so steady-state simulation performs no heap
+// allocation at all. Correctness against the original model is pinned by
+// the differential, determinism, and golden-stats tests.
+
+// infQueue is an in-place FIFO of in-flight instructions. popFront advances
+// a head index instead of reslicing (the old `q = q[1:]` drains leaked the
+// buffer's front and forced append to reallocate); the buffer is compacted
+// in place only when an append would otherwise grow it.
+type infQueue struct {
+	buf  []*inflight
+	head int
+}
+
+func (q *infQueue) len() int           { return len(q.buf) - q.head }
+func (q *infQueue) at(i int) *inflight { return q.buf[q.head+i] }
+func (q *infQueue) front() *inflight   { return q.buf[q.head] }
+
+func (q *infQueue) push(inf *inflight) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, inf)
+}
+
+func (q *infQueue) popFront() *inflight {
+	inf := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return inf
+}
+
+// portWindow is the ring size, in cycles, of the data-cache port schedule.
+// It only needs to exceed the farthest-future cycle a port can be booked at
+// relative to the current cycle (bounded by the memory hierarchy's worst
+// round trip plus store-buffer backlog, a few hundred cycles); 8K cycles
+// leaves two orders of magnitude of slack.
+const portWindow = 1 << 13
+
+// portSched books data-cache ports per absolute cycle on a ring keyed by
+// cycle mod portWindow. Each slot remembers which absolute cycle it
+// currently represents, so stale bookings from a lapped window read as
+// empty without any sweeping or deletion (the old implementation was a
+// map[int64]int that was pruned by full iteration).
+type portSched struct {
+	cycle []int64
+	used  []int32
+}
+
+func newPortSched() portSched {
+	ps := portSched{cycle: make([]int64, portWindow), used: make([]int32, portWindow)}
+	for i := range ps.cycle {
+		ps.cycle[i] = -1
+	}
+	return ps
+}
+
+// book reserves one port at or after cycle t given ports per cycle, and
+// returns the cycle used.
+func (ps *portSched) book(t int64, ports int) int64 {
+	for {
+		idx := t & (portWindow - 1)
+		if ps.cycle[idx] != t {
+			ps.cycle[idx] = t
+			ps.used[idx] = 0
+		}
+		if int(ps.used[idx]) < ports {
+			ps.used[idx]++
+			return t
+		}
+		t++
+	}
+}
+
+// pcStats is the per-static-instruction producer history behind Table 3
+// (last forwarded producer per source, and last critical inter-trace
+// producer per source). A zero PC means "not seen yet", as in the original
+// map encoding.
+type pcStats struct {
+	lastProd      [2]uint64
+	lastCritInter [2]uint64
+}
+
+// maxPCTableEntries bounds the dense table at 1M static instructions
+// (32 MB); streams with wilder PC ranges fall back to a map so a synthetic
+// stream cannot make the simulator allocate unbounded memory.
+const maxPCTableEntries = 1 << 20
+
+// pcTable maps instruction addresses to their pcStats through a dense
+// array indexed by (PC-base)/stride. Program text is contiguous, so after
+// the first pass over the working set every lookup is a single bounds-
+// checked index with no hashing and no allocation.
+type pcTable struct {
+	base     uint64 // PC/PCStride of entry 0; valid once tab is non-nil
+	tab      []pcStats
+	overflow map[uint64]*pcStats
+}
+
+func (t *pcTable) statsFor(pc uint64, stride uint64) *pcStats {
+	idx := pc / stride
+	if t.tab == nil {
+		t.base = idx
+		t.tab = make([]pcStats, 64)
+	}
+	if idx < t.base {
+		if grow := t.base - idx; grow+uint64(len(t.tab)) <= maxPCTableEntries {
+			nt := make([]pcStats, grow+uint64(len(t.tab)))
+			copy(nt[grow:], t.tab)
+			t.tab = nt
+			t.base = idx
+		} else {
+			return t.slow(pc)
+		}
+	}
+	off := idx - t.base
+	if off >= uint64(len(t.tab)) {
+		if off >= maxPCTableEntries {
+			return t.slow(pc)
+		}
+		n := uint64(len(t.tab))
+		for n <= off {
+			n *= 2
+		}
+		nt := make([]pcStats, n)
+		copy(nt, t.tab)
+		t.tab = nt
+	}
+	return &t.tab[off]
+}
+
+func (t *pcTable) slow(pc uint64) *pcStats {
+	if t.overflow == nil {
+		t.overflow = make(map[uint64]*pcStats)
+	}
+	e := t.overflow[pc]
+	if e == nil {
+		e = new(pcStats)
+		t.overflow[pc] = e
+	}
+	return e
+}
+
+// allocInflight hands out a pooled record, fully zeroed.
+func (p *Pipeline) allocInflight() *inflight {
+	if n := len(p.freeList); n > 0 {
+		inf := p.freeList[n-1]
+		p.freeList = p.freeList[:n-1]
+		*inf = inflight{}
+		return inf
+	}
+	return &inflight{}
+}
+
+// reclaim moves retired records whose last possible referencer has itself
+// retired from the graveyard back to the free list. References to a record
+// X are only ever created while X is reachable through renameMap/lastStore,
+// i.e. by instructions renamed before X retired; X stamps the rename count
+// at its retirement into freeAfter, and once that many instructions have
+// retired (retirement is in rename order, and retiring clears outgoing
+// references) nothing can still point at X. pendingRedirect is the one
+// non-inflight pointer and blocks the queue head until the redirect clears.
+func (p *Pipeline) reclaim() {
+	for p.graveyard.len() > 0 {
+		inf := p.graveyard.front()
+		if inf.freeAfter > p.S.Retired || inf == p.pendingRedirect {
+			return
+		}
+		p.freeList = append(p.freeList, p.graveyard.popFront())
+	}
+}

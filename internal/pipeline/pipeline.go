@@ -14,7 +14,9 @@ import (
 
 const unknown = int64(-1)
 
-// inflight is one instruction between fetch and retirement.
+// inflight is one instruction between fetch and retirement. Records are
+// pooled: retirement parks them in a graveyard until no older reference can
+// remain (see reclaim), after which they are reused for new fetches.
 type inflight struct {
 	rec     emu.Committed
 	fromTC  bool
@@ -43,6 +45,10 @@ type inflight struct {
 	critSrc       core.CritSrc
 	critForwarded bool
 	critProd      *inflight
+
+	// freeAfter is the rename count stamped at retirement; the record is
+	// recycled once that many instructions have retired.
+	freeAfter uint64
 }
 
 // Pipeline is the cycle-level CTCP model.
@@ -56,17 +62,21 @@ type Pipeline struct {
 	icache *cachesim.Cache
 	mem    *cachesim.Hierarchy
 
-	stream     emu.Stream
-	peeked     *emu.Committed
-	streamDone bool
+	stream emu.Stream
+	// predictCond is p.bp.PredictCond bound once; creating the method value
+	// at every trace cache lookup allocated a closure per fetch.
+	predictCond func(uint64) bool
+	peekedRec   emu.Committed
+	havePeek    bool
+	streamDone  bool
 
 	now int64
 
-	rob    []*inflight // program order; index 0 is oldest
-	fetchQ []*inflight
+	rob    infQueue // program order; front is oldest
+	fetchQ infQueue
 
-	dispatchQ [][]*inflight // per-cluster in-order queues (slot-based)
-	steerQ    []*inflight   // global in-order queue (issue-time steering)
+	dispatchQ []infQueue  // per-cluster in-order queues (slot-based)
+	steerQ    []*inflight // global in-order queue (issue-time steering)
 
 	rsEntries [][]*inflight // per-cluster, age-ordered
 	rsCount   [][]int       // per-cluster per-station occupancy
@@ -75,20 +85,32 @@ type Pipeline struct {
 	renameMap  [isa.NumRegs]*inflight
 	lastStore  *inflight
 	loadsInROB int
+	renamed    uint64 // total instructions renamed (pool recycling epoch)
 
 	sbDrain   []int64 // store buffer: drain completion times
 	lastDrain int64
-	portUse   map[int64]int
+	ports     portSched
 
 	pendingRedirect *inflight
 	nextFetch       int64
 	btbBubble       int64
 	groupSeq        uint64
 
-	lastProd          map[uint64][2]uint64
-	lastCritInterProd map[uint64][2]uint64
+	pcHist pcTable // per-static-PC producer history (Table 3)
 
 	lastRetireCycle int64
+
+	// Object pool: freeList holds recycled records, graveyard holds retired
+	// records whose references may still be live.
+	freeList  []*inflight
+	graveyard infQueue
+
+	// Per-cycle scratch, reused across cycles. writeUsed is the flattened
+	// [cluster][station] write-port usage; fetchBuf collects one fetch
+	// group; clusterBudget is the per-cluster steering budget.
+	writeUsed     []int
+	clusterBudget []int
+	fetchBuf      []*inflight
 
 	S Stats
 }
@@ -97,25 +119,24 @@ type Pipeline struct {
 func New(stream emu.Stream, cfg Config) *Pipeline {
 	g := cfg.Geom
 	p := &Pipeline{
-		cfg:               cfg,
-		geom:              g,
-		bp:                bpred.New(cfg.BP),
-		tc:                trace.NewCache(cfg.Trace),
-		icache:            cachesim.New(cfg.ICache),
-		mem:               cachesim.NewHierarchy(cfg.Mem),
-		stream:            stream,
-		portUse:           make(map[int64]int),
-		lastProd:          make(map[uint64][2]uint64),
-		lastCritInterProd: make(map[uint64][2]uint64),
-		lastDrain:         -1,
+		cfg:       cfg,
+		geom:      g,
+		bp:        bpred.New(cfg.BP),
+		tc:        trace.NewCache(cfg.Trace),
+		icache:    cachesim.New(cfg.ICache),
+		mem:       cachesim.NewHierarchy(cfg.Mem),
+		stream:    stream,
+		ports:     newPortSched(),
+		lastDrain: -1,
 	}
+	p.predictCond = p.bp.PredictCond
 	p.fill = core.NewFillUnit(core.Config{
 		Strategy:      cfg.Strategy,
 		DisableChains: cfg.DisableChains,
 		Geom:          g,
 		Trace:         cfg.Trace,
 	}, p.tc)
-	p.dispatchQ = make([][]*inflight, g.Clusters)
+	p.dispatchQ = make([]infQueue, g.Clusters)
 	p.rsEntries = make([][]*inflight, g.Clusters)
 	p.rsCount = make([][]int, g.Clusters)
 	p.fuFree = make([][]int64, g.Clusters)
@@ -123,6 +144,9 @@ func New(stream emu.Stream, cfg Config) *Pipeline {
 		p.rsCount[c] = make([]int, cluster.NumRSKinds)
 		p.fuFree[c] = make([]int64, cluster.NumFUKinds)
 	}
+	p.writeUsed = make([]int, g.Clusters*int(cluster.NumRSKinds))
+	p.clusterBudget = make([]int, g.Clusters)
+	p.fetchBuf = make([]*inflight, 0, cfg.FetchWidth)
 	return p
 }
 
@@ -148,7 +172,7 @@ func (p *Pipeline) Run() *Stats {
 		if p.now-p.lastRetireCycle > 2_000_000 {
 			panic(&core.InvariantError{Msg: fmt.Sprintf(
 				"pipeline: no retirement progress near cycle %d (rob=%d fetchQ=%d)",
-				p.now, len(p.rob), len(p.fetchQ))})
+				p.now, p.rob.len(), p.fetchQ.len())})
 		}
 	}
 	p.fill.Flush()
@@ -160,7 +184,7 @@ func (p *Pipeline) Run() *Stats {
 }
 
 func (p *Pipeline) done() bool {
-	return p.streamDone && len(p.rob) == 0 && len(p.fetchQ) == 0
+	return p.streamDone && p.rob.len() == 0 && p.fetchQ.len() == 0
 }
 
 // cycle runs one machine cycle; it reports whether any state changed (used
@@ -194,7 +218,8 @@ func (p *Pipeline) nextEvent() int64 {
 			best = t
 		}
 	}
-	for _, inf := range p.rob {
+	for i := 0; i < p.rob.len(); i++ {
+		inf := p.rob.at(i)
 		if inf.issued && !inf.retired {
 			consider(inf.doneAt)
 		}
@@ -206,12 +231,12 @@ func (p *Pipeline) nextEvent() int64 {
 			}
 		}
 	}
-	if len(p.fetchQ) > 0 {
-		consider(p.fetchQ[0].renameReady)
+	if p.fetchQ.len() > 0 {
+		consider(p.fetchQ.front().renameReady)
 	}
 	for c := range p.dispatchQ {
-		if len(p.dispatchQ[c]) > 0 {
-			consider(p.dispatchQ[c][0].dispatchReady)
+		if p.dispatchQ[c].len() > 0 {
+			consider(p.dispatchQ[c].front().dispatchReady)
 		}
 	}
 	if len(p.steerQ) > 0 {
@@ -228,26 +253,29 @@ func (p *Pipeline) nextEvent() int64 {
 
 // --- stream helpers ---
 
-func (p *Pipeline) peek() *emu.Committed {
-	if p.peeked != nil {
-		return p.peeked
+// peek returns the next committed record without consuming it; ok is false
+// once the stream is exhausted. The record is buffered by value (the old
+// implementation heap-allocated a copy per instruction).
+func (p *Pipeline) peek() (*emu.Committed, bool) {
+	if p.havePeek {
+		return &p.peekedRec, true
 	}
 	if p.streamDone {
-		return nil
+		return nil, false
 	}
 	rec, ok := p.stream.Next()
 	if !ok {
 		p.streamDone = true
-		return nil
+		return nil, false
 	}
-	p.peeked = &rec
-	return p.peeked
+	p.peekedRec = rec
+	p.havePeek = true
+	return &p.peekedRec, true
 }
 
 func (p *Pipeline) take() emu.Committed {
-	rec := *p.peeked
-	p.peeked = nil
-	return rec
+	p.havePeek = false
+	return p.peekedRec
 }
 
 // --- fetch ---
@@ -256,25 +284,25 @@ func (p *Pipeline) fetch() bool {
 	if p.pendingRedirect != nil || p.now < p.nextFetch {
 		return false
 	}
-	if len(p.fetchQ) >= 2*p.cfg.FetchWidth {
+	if p.fetchQ.len() >= 2*p.cfg.FetchWidth {
 		return false
 	}
-	first := p.peek()
-	if first == nil {
+	first, ok := p.peek()
+	if !ok {
 		return false
 	}
 	pc := first.PC
 	group := p.groupSeq
 	p.groupSeq++
 	fetchLat := int64(p.cfg.FetchStages)
-	var consumed []*inflight
+	consumed := p.fetchBuf[:0]
 
-	if tr := p.tc.Lookup(pc, p.bp.PredictCond); tr != nil {
+	if tr := p.tc.Lookup(pc, p.predictCond); tr != nil {
 		p.S.TCGroups++
 		for i := range tr.Slots {
 			s := &tr.Slots[i]
-			r := p.peek()
-			if r == nil || r.PC != s.PC {
+			r, ok := p.peek()
+			if !ok || r.PC != s.PC {
 				break // stream diverged (only possible after a redirect cut)
 			}
 			inf := p.newInflight(p.take(), true, group, s.Cluster, s.Profile)
@@ -293,8 +321,8 @@ func (p *Pipeline) fetch() bool {
 		lineEnd := (pc | uint64(p.cfg.ICache.LineSize-1)) + 1
 		expect := pc
 		for len(consumed) < p.cfg.FetchWidth {
-			r := p.peek()
-			if r == nil || r.PC != expect || r.PC >= lineEnd {
+			r, ok := p.peek()
+			if !ok || r.PC != expect || r.PC >= lineEnd {
 				break
 			}
 			slot := len(consumed)
@@ -310,6 +338,7 @@ func (p *Pipeline) fetch() bool {
 		}
 		p.S.ICGroupInsts += uint64(len(consumed))
 	}
+	p.fetchBuf = consumed[:0]
 	if len(consumed) == 0 {
 		// Defensive: should not happen (the first record always matches).
 		p.nextFetch = p.now + 1
@@ -317,7 +346,7 @@ func (p *Pipeline) fetch() bool {
 	}
 	for _, inf := range consumed {
 		inf.renameReady = p.now + fetchLat + int64(p.cfg.DecodeStages)
-		p.fetchQ = append(p.fetchQ, inf)
+		p.fetchQ.push(inf)
 	}
 	p.nextFetch = p.now + 1 + p.btbBubble
 	p.btbBubble = 0
@@ -325,15 +354,14 @@ func (p *Pipeline) fetch() bool {
 }
 
 func (p *Pipeline) newInflight(rec emu.Committed, fromTC bool, group uint64, cl int, prof trace.Profile) *inflight {
-	inf := &inflight{
-		rec:      rec,
-		fromTC:   fromTC,
-		group:    group,
-		cluster:  cl,
-		profile:  prof,
-		resultAt: unknown,
-		doneAt:   unknown,
-	}
+	inf := p.allocInflight()
+	inf.rec = rec
+	inf.fromTC = fromTC
+	inf.group = group
+	inf.cluster = cl
+	inf.profile = prof
+	inf.resultAt = unknown
+	inf.doneAt = unknown
 	if p.cfg.Strategy.SteersAtIssue() {
 		inf.cluster = -1
 	}
@@ -416,12 +444,12 @@ func (p *Pipeline) clearRedirect() {
 func (p *Pipeline) rename() bool {
 	budget := p.cfg.FetchWidth
 	worked := false
-	for budget > 0 && len(p.fetchQ) > 0 {
-		inf := p.fetchQ[0]
+	for budget > 0 && p.fetchQ.len() > 0 {
+		inf := p.fetchQ.front()
 		if inf.renameReady > p.now {
 			break
 		}
-		if len(p.rob) >= p.cfg.ROBSize {
+		if p.rob.len() >= p.cfg.ROBSize {
 			p.S.ROBFullStalls++
 			break
 		}
@@ -455,12 +483,13 @@ func (p *Pipeline) rename() bool {
 		if inf.isLoad {
 			p.loadsInROB++
 		}
-		p.rob = append(p.rob, inf)
-		p.fetchQ = p.fetchQ[1:]
+		p.fetchQ.popFront()
+		p.rob.push(inf)
+		p.renamed++
 		if p.cfg.Strategy.SteersAtIssue() {
 			p.steerQ = append(p.steerQ, inf)
 		} else {
-			p.dispatchQ[inf.cluster] = append(p.dispatchQ[inf.cluster], inf)
+			p.dispatchQ[inf.cluster].push(inf)
 		}
 		budget--
 		worked = true
@@ -470,17 +499,18 @@ func (p *Pipeline) rename() bool {
 
 // --- dispatch (into reservation stations) ---
 
+// wu indexes the flattened per-cycle [cluster][station] write-port scratch.
+func (p *Pipeline) wu(c int, st cluster.RSKind) *int {
+	return &p.writeUsed[c*int(cluster.NumRSKinds)+int(st)]
+}
+
 func (p *Pipeline) dispatch() bool {
 	worked := false
-	writeUsed := make([][]int, p.geom.Clusters)
-	for c := range writeUsed {
-		writeUsed[c] = make([]int, cluster.NumRSKinds)
-	}
+	clear(p.writeUsed)
 	if p.cfg.Strategy.SteersAtIssue() {
 		budget := p.geom.TotalWidth()
-		clusterBudget := make([]int, p.geom.Clusters)
-		for c := range clusterBudget {
-			clusterBudget[c] = p.geom.Width
+		for c := range p.clusterBudget {
+			p.clusterBudget[c] = p.geom.Width
 		}
 		// Scan the steering window in age order; an instruction whose target
 		// cluster is saturated does not block younger instructions bound for
@@ -493,11 +523,11 @@ func (p *Pipeline) dispatch() bool {
 				break
 			}
 			scanned++
-			c := p.steerTarget(inf, clusterBudget, writeUsed)
+			c := p.steerTarget(inf)
 			if c >= 0 {
 				inf.cluster = c
-				if p.insertRS(inf, c, writeUsed) {
-					clusterBudget[c]--
+				if p.insertRS(inf, c) {
+					p.clusterBudget[c]--
 					budget--
 					worked = true
 					continue
@@ -506,20 +536,23 @@ func (p *Pipeline) dispatch() bool {
 			}
 			kept = append(kept, inf)
 		}
+		for i := len(kept); i < len(p.steerQ); i++ {
+			p.steerQ[i] = nil
+		}
 		p.steerQ = kept
 		return worked
 	}
 	for c := 0; c < p.geom.Clusters; c++ {
 		n := 0
-		for n < p.geom.Width && len(p.dispatchQ[c]) > 0 {
-			inf := p.dispatchQ[c][0]
+		for n < p.geom.Width && p.dispatchQ[c].len() > 0 {
+			inf := p.dispatchQ[c].front()
 			if inf.dispatchReady > p.now {
 				break
 			}
-			if !p.insertRS(inf, c, writeUsed) {
+			if !p.insertRS(inf, c) {
 				break
 			}
-			p.dispatchQ[c] = p.dispatchQ[c][1:]
+			p.dispatchQ[c].popFront()
 			n++
 			worked = true
 		}
@@ -531,13 +564,13 @@ func (p *Pipeline) dispatch() bool {
 // cluster generating one of its in-flight inputs (preferring the input
 // expected to arrive last), else balance load; at most Width instructions
 // per cluster per cycle.
-func (p *Pipeline) steerTarget(inf *inflight, clusterBudget []int, writeUsed [][]int) int {
+func (p *Pipeline) steerTarget(inf *inflight) int {
 	usable := func(c int) bool {
-		if c < 0 || c >= p.geom.Clusters || clusterBudget[c] <= 0 {
+		if c < 0 || c >= p.geom.Clusters || p.clusterBudget[c] <= 0 {
 			return false
 		}
 		for _, st := range cluster.StationsFor(inf.rec.Inst.Op.Class()) {
-			if p.rsCount[c][st] < p.cfg.RS.Entries && writeUsed[c][st] < p.cfg.RS.WritePorts {
+			if p.rsCount[c][st] < p.cfg.RS.Entries && *p.wu(c, st) < p.cfg.RS.WritePorts {
 				return true
 			}
 		}
@@ -582,12 +615,12 @@ func (p *Pipeline) steerTarget(inf *inflight, clusterBudget []int, writeUsed [][
 	return target
 }
 
-func (p *Pipeline) insertRS(inf *inflight, c int, writeUsed [][]int) bool {
+func (p *Pipeline) insertRS(inf *inflight, c int) bool {
 	stations := cluster.StationsFor(inf.rec.Inst.Op.Class())
 	best := cluster.RSKind(-1)
 	bestCount := 1 << 30
 	for _, st := range stations {
-		if p.rsCount[c][st] >= p.cfg.RS.Entries || writeUsed[c][st] >= p.cfg.RS.WritePorts {
+		if p.rsCount[c][st] >= p.cfg.RS.Entries || *p.wu(c, st) >= p.cfg.RS.WritePorts {
 			continue
 		}
 		if p.rsCount[c][st] < bestCount {
@@ -601,7 +634,7 @@ func (p *Pipeline) insertRS(inf *inflight, c int, writeUsed [][]int) bool {
 	inf.station = best
 	inf.inRS = true
 	p.rsCount[c][best]++
-	writeUsed[c][best]++
+	*p.wu(c, best)++
 	p.rsEntries[c] = append(p.rsEntries[c], inf)
 	return true
 }
@@ -724,6 +757,9 @@ func (p *Pipeline) issue() bool {
 					keep = append(keep, inf)
 				}
 			}
+			for i := len(keep); i < len(entries); i++ {
+				entries[i] = nil
+			}
 			p.rsEntries[c] = keep
 		}
 	}
@@ -791,18 +827,7 @@ func (p *Pipeline) portTime(t int64) int64 {
 	if t <= p.now {
 		t = p.now
 	}
-	for p.portUse[t] >= p.cfg.Mem.Ports {
-		t++
-	}
-	p.portUse[t]++
-	if len(p.portUse) > 8192 {
-		for k := range p.portUse {
-			if k < p.now {
-				delete(p.portUse, k)
-			}
-		}
-	}
-	return t
+	return p.ports.book(t, p.cfg.Mem.Ports)
 }
 
 func (p *Pipeline) recordInputStats(inf *inflight) {
@@ -833,6 +858,7 @@ func (p *Pipeline) recordInputStats(inf *inflight) {
 		p.S.CritFromRF++
 	}
 	// Producer repeatability (Table 3): all forwarded inputs...
+	var hist *pcStats
 	for k := 0; k < 2; k++ {
 		prod := inf.prod[k]
 		if prod == nil || inf.src[k] == isa.NoReg {
@@ -844,42 +870,44 @@ func (p *Pipeline) recordInputStats(inf *inflight) {
 		if d == 0 {
 			p.S.FwdIntraCluster++
 		}
-		last := p.lastProd[inf.rec.PC]
-		if last[k] != 0 {
+		if hist == nil {
+			hist = p.pcHist.statsFor(inf.rec.PC, isa.PCStride)
+		}
+		if hist.lastProd[k] != 0 {
 			if k == 0 {
 				p.S.RS1Seen++
-				if last[k] == prod.rec.PC {
+				if hist.lastProd[k] == prod.rec.PC {
 					p.S.RS1Repeat++
 				}
 			} else {
 				p.S.RS2Seen++
-				if last[k] == prod.rec.PC {
+				if hist.lastProd[k] == prod.rec.PC {
 					p.S.RS2Repeat++
 				}
 			}
 		}
-		last[k] = prod.rec.PC
-		p.lastProd[inf.rec.PC] = last
+		hist.lastProd[k] = prod.rec.PC
 	}
 	// ...and critical inter-trace inputs only.
 	if inf.critForwarded && interTrace {
 		k := int(inf.critSrc) - 1
-		last := p.lastCritInterProd[inf.rec.PC]
-		if last[k] != 0 {
+		if hist == nil {
+			hist = p.pcHist.statsFor(inf.rec.PC, isa.PCStride)
+		}
+		if hist.lastCritInter[k] != 0 {
 			if k == 0 {
 				p.S.CritRS1InterSeen++
-				if last[k] == inf.critProd.rec.PC {
+				if hist.lastCritInter[k] == inf.critProd.rec.PC {
 					p.S.CritRS1InterRep++
 				}
 			} else {
 				p.S.CritRS2InterSeen++
-				if last[k] == inf.critProd.rec.PC {
+				if hist.lastCritInter[k] == inf.critProd.rec.PC {
 					p.S.CritRS2InterRep++
 				}
 			}
 		}
-		last[k] = inf.critProd.rec.PC
-		p.lastCritInterProd[inf.rec.PC] = last
+		hist.lastCritInter[k] = inf.critProd.rec.PC
 	}
 }
 
@@ -899,8 +927,8 @@ func (p *Pipeline) sbOccupied() int {
 func (p *Pipeline) retire() bool {
 	budget := p.cfg.RetireWidth
 	worked := false
-	for budget > 0 && len(p.rob) > 0 {
-		inf := p.rob[0]
+	for budget > 0 && p.rob.len() > 0 {
+		inf := p.rob.front()
 		if !inf.issued || inf.doneAt > p.now {
 			break
 		}
@@ -921,21 +949,39 @@ func (p *Pipeline) retire() bool {
 		if inf.isLoad {
 			p.loadsInROB--
 		}
-		p.rob = p.rob[1:]
+		p.rob.popFront()
 		p.S.Retired++
 		if inf.fromTC {
 			p.S.RetiredFromTC++
 		}
-		p.fill.Retire(p.retireInfo(inf))
+		info := p.retireInfo(inf)
+		p.fill.Retire(info)
+		if p.cfg.RetireHook != nil {
+			p.cfg.RetireHook(info)
+		}
 		// Drop outgoing references so retired records don't chain-retain the
 		// whole execution history; fields of *this* record stay valid for
-		// any younger consumers still holding a pointer to it.
+		// any younger consumers still holding a pointer to it. The record
+		// itself is parked in the graveyard until those consumers retire,
+		// then recycled (see reclaim). Rename-visible aliases are severed
+		// here so no new references can form after retirement.
 		inf.prod[0], inf.prod[1] = nil, nil
 		inf.critProd = nil
 		inf.prevStore = nil
+		if d := inf.rec.Inst.Dest(); d != isa.NoReg && p.renameMap[d] == inf {
+			p.renameMap[d] = nil
+		}
+		if p.lastStore == inf {
+			p.lastStore = nil
+		}
+		inf.freeAfter = p.renamed
+		p.graveyard.push(inf)
 		p.lastRetireCycle = p.now
 		budget--
 		worked = true
+	}
+	if worked {
+		p.reclaim()
 	}
 	return worked
 }
@@ -963,7 +1009,7 @@ func (p *Pipeline) retireInfo(inf *inflight) core.RetireInfo {
 // snapshot renders one cycle's occupancy for Config.TraceCycles.
 func (p *Pipeline) snapshot() string {
 	var sb []byte
-	sb = fmt.Appendf(sb, "cyc %6d | fetchQ %2d | rob %3d | rs", p.now, len(p.fetchQ), len(p.rob))
+	sb = fmt.Appendf(sb, "cyc %6d | fetchQ %2d | rob %3d | rs", p.now, p.fetchQ.len(), p.rob.len())
 	for c := 0; c < p.geom.Clusters; c++ {
 		occ := 0
 		for st := 0; st < int(cluster.NumRSKinds); st++ {

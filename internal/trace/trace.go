@@ -75,6 +75,21 @@ func (t *Trace) Len() int { return len(t.Slots) }
 // into the line's slot positions — a corrupted reorder would silently issue
 // two instructions to the same slot.
 func (t *Trace) CheckSlotIndices(maxLen int) {
+	// Lines are at most MaxLen slots, which is <= 64 in every supported
+	// configuration, so a bitmask covers the occupancy set; the map path
+	// remains for hypothetical wider lines. This check runs once per built
+	// trace, on the simulator's hot path.
+	if maxLen <= 64 {
+		var seen uint64
+		for i := range t.Slots {
+			idx := t.Slots[i].SlotIndex
+			if idx < 0 || idx >= maxLen || seen&(1<<uint(idx)) != 0 {
+				panic(fmt.Sprintf("trace: corrupt slot placement in line @%#x", t.StartPC))
+			}
+			seen |= 1 << uint(idx)
+		}
+		return
+	}
 	seen := make(map[int]bool, len(t.Slots))
 	for i := range t.Slots {
 		idx := t.Slots[i].SlotIndex
@@ -278,6 +293,10 @@ func (b *Builder) Pending() int { return len(b.slots) }
 // trace is returned with slots in logical order; otherwise Add returns nil.
 func (b *Builder) Add(rec emu.Committed) *Trace {
 	if len(b.slots) == 0 {
+		// One allocation per trace: the finished line keeps this backing
+		// array (the cache retains it), so size it for the worst case up
+		// front instead of growing through append's doubling schedule.
+		b.slots = make([]Slot, 0, b.cfg.MaxLen)
 		b.blocks = 1
 		b.indirect = false
 	}
