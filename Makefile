@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
-# check is the CI gate: compile everything, vet, then the full suite under
-# the race detector (the runner stress tests exercise it meaningfully).
-check: build vet race
+# check is the CI gate: compile everything, vet, run the module's own static
+# analysis suite (cmd/ctcplint), then the full test suite under the race
+# detector (the runner stress tests exercise it meaningfully).
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs ctcplint, the stdlib-only analyzer suite in internal/lint that
+# enforces the simulator's determinism and hot-path invariants (map iteration
+# order, //ctcp:hotpath allocations, wall clock/ambient randomness, float
+# equality, Config.Validate coverage, unchecked artifact writes).
+lint:
+	$(GO) run ./cmd/ctcplint ./...
 
 test:
 	$(GO) test ./...

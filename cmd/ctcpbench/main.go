@@ -32,11 +32,47 @@ import (
 	"ctcp/internal/workload"
 )
 
+// artifacts is the generation-order table of every paper artifact the tool
+// can regenerate. The -exp flag usage and name validation are derived from
+// it, so adding an entry here is the single step needed to expose it.
+var artifacts = []struct {
+	name string
+	run  func(r *experiment.Runner) string
+}{
+	{"table1", func(r *experiment.Runner) string { return experiment.Table1(r).Render() }},
+	{"fig4", func(r *experiment.Runner) string { return experiment.Figure4(r).Render() }},
+	{"table2", func(r *experiment.Runner) string { return experiment.Table2(r).Render() }},
+	{"fig5", func(r *experiment.Runner) string { return experiment.Figure5(r).Render() }},
+	{"table3", func(r *experiment.Runner) string { return experiment.Table3(r).Render() }},
+	{"fig6", func(r *experiment.Runner) string { return experiment.Figure6(r).Render() }},
+	{"table8", func(r *experiment.Runner) string { return experiment.Table8(r).Render() }},
+	{"fig7", func(r *experiment.Runner) string { return experiment.Figure7(r).Render() }},
+	{"table9", func(r *experiment.Runner) string { return experiment.Table9(r).Render() }},
+	{"table10", func(r *experiment.Runner) string { return experiment.Table10(r).Render() }},
+	{"fig8", func(r *experiment.Runner) string { return experiment.Figure8(r).Render() }},
+	{"ablation", func(r *experiment.Runner) string { return experiment.Ablation(r).Render() }},
+	{"sweeps", func(r *experiment.Runner) string {
+		return experiment.SweepTraceCache(r).Render() + "\n" +
+			experiment.SweepROB(r).Render() + "\n" +
+			experiment.SweepHopLatency(r).Render()
+	}},
+	{"fig9", func(r *experiment.Runner) string { return experiment.Figure9(r).Render() }},
+}
+
+// artifactNames renders the artifact list for flag usage and error messages.
+func artifactNames() string {
+	names := make([]string, 0, len(artifacts))
+	for _, a := range artifacts {
+		names = append(names, a.name)
+	}
+	return strings.Join(names, ",")
+}
+
 // main only parses flags and owns the process exit code; the body lives in
 // run so profile-teardown defers execute before os.Exit.
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated list: table1,table2,table3,fig4,fig5,fig6,fig7,table8,table9,table10,fig8,fig9,ablation,sweeps or 'all'")
+		exps       = flag.String("exp", "all", "comma-separated list: "+artifactNames()+" or 'all'")
 		insts      = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
 		par        = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log each simulation start/finish/failure to stderr")
@@ -116,50 +152,33 @@ func run(exps string, insts uint64, par int, verbose, inject, micro bool, benchO
 			r.RunErr(bm, "inject-fault", bad)
 		}
 	}
-	all := []struct {
-		name string
-		run  func() string
-	}{
-		{"table1", func() string { return experiment.Table1(r).Render() }},
-		{"fig4", func() string { return experiment.Figure4(r).Render() }},
-		{"table2", func() string { return experiment.Table2(r).Render() }},
-		{"fig5", func() string { return experiment.Figure5(r).Render() }},
-		{"table3", func() string { return experiment.Table3(r).Render() }},
-		{"fig6", func() string { return experiment.Figure6(r).Render() }},
-		{"table8", func() string { return experiment.Table8(r).Render() }},
-		{"fig7", func() string { return experiment.Figure7(r).Render() }},
-		{"table9", func() string { return experiment.Table9(r).Render() }},
-		{"table10", func() string { return experiment.Table10(r).Render() }},
-		{"fig8", func() string { return experiment.Figure8(r).Render() }},
-		{"ablation", func() string { return experiment.Ablation(r).Render() }},
-		{"sweeps", func() string {
-			return experiment.SweepTraceCache(r).Render() + "\n" +
-				experiment.SweepROB(r).Render() + "\n" +
-				experiment.SweepHopLatency(r).Render()
-		}},
-		{"fig9", func() string { return experiment.Figure9(r).Render() }},
+	known := map[string]bool{}
+	for _, e := range artifacts {
+		known[e.name] = true
 	}
-
 	want := map[string]bool{}
 	if exps == "all" {
-		for _, e := range all {
-			want[e.name] = true
-		}
+		want = known
 	} else {
 		for _, name := range strings.Split(exps, ",") {
-			want[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "ctcpbench: unknown experiment %q (one of: %s, or 'all')\n", name, artifactNames())
+				return 1
+			}
+			want[name] = true
 		}
 	}
 
 	fmt.Printf("ctcpbench: budget %d instructions per run\n\n", insts)
 	ran := 0
 	var failedArtifacts []string
-	for _, e := range all {
+	for _, e := range artifacts {
 		if !want[e.name] {
 			continue
 		}
 		start := time.Now()
-		out, err := renderArtifact(e.run)
+		out, err := renderArtifact(func() string { return e.run(r) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ctcpbench: %s failed: %v\n\n", e.name, err)
 			failedArtifacts = append(failedArtifacts, e.name)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ctcp/internal/cluster"
 	"ctcp/internal/core"
@@ -19,11 +20,21 @@ import (
 	"ctcp/internal/workload"
 )
 
+// strategyNames renders the canonical strategy list for flag usage and error
+// messages, so the tool cannot drift from core.Strategies.
+func strategyNames() string {
+	names := make([]string, 0, len(core.Strategies()))
+	for _, k := range core.Strategies() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		bench    = flag.String("bench", "gzip", "benchmark name")
-		strategy = flag.String("strategy", "base", "assignment strategy: base, issue-time, friendly, friendly-middle, fdrt, fdrt-nopin")
+		strategy = flag.String("strategy", "base", "assignment strategy: "+strategyNames())
 		steer    = flag.Int("steer", 4, "issue-time steering latency in cycles (issue-time only)")
 		insts    = flag.Uint64("insts", 300_000, "committed instruction budget")
 		topology = flag.String("topology", "chain", "inter-cluster interconnect: chain or ring")
@@ -56,13 +67,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	kinds := map[string]core.StrategyKind{
-		"base": core.Base, "issue-time": core.IssueTime, "friendly": core.Friendly,
-		"friendly-middle": core.FriendlyMiddle, "fdrt": core.FDRT, "fdrt-nopin": core.FDRTNoPin,
+	kinds := map[string]core.StrategyKind{}
+	for _, k := range core.Strategies() {
+		kinds[k.String()] = k
 	}
 	kind, ok := kinds[*strategy]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ctcpsim: unknown strategy %q\n", *strategy)
+		fmt.Fprintf(os.Stderr, "ctcpsim: unknown strategy %q (one of: %s)\n", *strategy, strategyNames())
 		os.Exit(1)
 	}
 

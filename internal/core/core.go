@@ -53,6 +53,13 @@ const (
 	FDRTNoPin
 )
 
+// Strategies returns every assignment strategy in definition order. Command-
+// line tools derive their name tables and flag usage from this list so it
+// cannot drift from the StrategyKind constants.
+func Strategies() []StrategyKind {
+	return []StrategyKind{Base, IssueTime, Friendly, FriendlyMiddle, FDRT, FDRTNoPin}
+}
+
 // String returns the strategy name used in tables and figures.
 func (k StrategyKind) String() string {
 	switch k {

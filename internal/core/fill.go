@@ -172,7 +172,12 @@ func (f *FillUnit) finishTrace(tr *trace.Trace) {
 	f.assign(tr, infos)
 	tr.CheckSlotIndices(f.cfg.Trace.MaxLen)
 	f.recordMigration(tr)
-	f.tc.Install(tr)
+	// Recycle the displaced line: Install guarantees nothing references it
+	// once it returns (the pipeline copies everything out of a trace during
+	// the synchronous fetch), so its storage can back a future build.
+	if displaced := f.tc.Install(tr); displaced != nil {
+		f.builder.Recycle(displaced)
+	}
 	f.pending = f.pending[:0]
 }
 

@@ -124,7 +124,7 @@ func (m *Memory) PageCount() int { return len(m.pages) }
 // ever touched. Differential tests use it to compare architectural state.
 func (m *Memory) Checksum() uint64 {
 	idxs := make([]uint64, 0, len(m.pages))
-	for idx := range m.pages {
+	for idx := range m.pages { //ctcp:lint-ok maporder -- keys are collected and sorted before use
 		idxs = append(idxs, idx)
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })

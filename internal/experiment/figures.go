@@ -140,10 +140,13 @@ func Figure7(r *Runner) *Figure7Result {
 			continue
 		}
 		f := s.Fill
-		tot := float64(f.OptionA + f.OptionB + f.OptionC + f.OptionD + f.OptionE)
-		if tot == 0 {
-			tot = 1
+		// Guard the denominator while it is still an integer; comparing the
+		// float64 against zero exactly is a floateq trap.
+		n := f.OptionA + f.OptionB + f.OptionC + f.OptionD + f.OptionE
+		if n == 0 {
+			n = 1
 		}
+		tot := float64(n)
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{
 			float64(f.OptionA) / tot, float64(f.OptionB) / tot, float64(f.OptionC) / tot,
 			float64(f.OptionD) / tot, float64(f.OptionE) / tot, float64(f.Skipped) / tot,
@@ -372,11 +375,17 @@ type Figure9Result struct {
 func Figure9(r *Runner) *Figure9Result {
 	cfgs := StrategyConfigs()
 	res := &Figure9Result{Suites: map[string][]float64{}, Rows: map[string][]BenchRow{}}
-	suites := map[string][]workload.Benchmark{
-		"SPECint2000": workload.SPECint(),
-		"MediaBench":  workload.MediaBench(),
+	// Fixed iteration order: suite order decides run submission and row
+	// grouping, so it must not depend on map iteration.
+	suites := []struct {
+		name string
+		bms  []workload.Benchmark
+	}{
+		{"SPECint2000", workload.SPECint()},
+		{"MediaBench", workload.MediaBench()},
 	}
-	for name, bms := range suites {
+	for _, suite := range suites {
+		name, bms := suite.name, suite.bms
 		r.Prefetch(bms, cfgs)
 		for _, bm := range bms {
 			b := r.Run(bm, "base", cfgs["base"])

@@ -258,9 +258,17 @@ func (r *Runner) Prefetch(bms []workload.Benchmark, cfgs map[string]pipeline.Con
 			}
 		}()
 	}
+	// Submit in sorted key order: results are cached by key either way, but
+	// a deterministic submission order keeps run scheduling (and therefore
+	// any timing-derived diagnostics) reproducible across processes.
+	keys := make([]string, 0, len(cfgs))
+	for key := range cfgs { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	for _, bm := range bms {
-		for key, cfg := range cfgs {
-			jobs <- job{bm, key, cfg}
+		for _, key := range keys {
+			jobs <- job{bm, key, cfgs[key]}
 		}
 	}
 	close(jobs)
@@ -279,7 +287,7 @@ func (r *Runner) Stats() RunnerStats {
 		CacheHits: r.cacheHits,
 		Wall:      make(map[string]time.Duration, len(r.cache)),
 	}
-	for k, e := range r.cache {
+	for k, e := range r.cache { //ctcp:lint-ok maporder -- map-to-map copy; result is order-insensitive
 		select {
 		case <-e.done:
 			out.Wall[k] = e.wall
@@ -295,7 +303,7 @@ func (r *Runner) Errors() map[string]error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]error)
-	for k, e := range r.cache {
+	for k, e := range r.cache { //ctcp:lint-ok maporder -- map-to-map copy; result is order-insensitive
 		select {
 		case <-e.done:
 			if e.err != nil {
@@ -315,7 +323,7 @@ func (r *Runner) FailureSummary() string {
 		return ""
 	}
 	keys := make([]string, 0, len(errs))
-	for k := range errs {
+	for k := range errs { //ctcp:lint-ok maporder -- keys are collected and sorted before use
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

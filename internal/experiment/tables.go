@@ -69,10 +69,13 @@ func Figure4(r *Runner) *Figure4Result {
 		if !statsOK(s) {
 			continue
 		}
-		wi := float64(s.WithInputs)
-		if wi == 0 {
-			wi = 1
+		// Guard the denominator while it is still an integer; comparing the
+		// float64 against zero exactly is a floateq trap.
+		n := s.WithInputs
+		if n == 0 {
+			n = 1
 		}
+		wi := float64(n)
 		res.Rows = append(res.Rows, BenchRow{bm.Name, []float64{
 			float64(s.CritFromRF) / wi,
 			float64(s.CritFromRS1) / wi,

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ConfigValidate enforces that every exported field of pipeline.Config is
+// referenced somewhere in its Validate path (the Validate method plus every
+// intra-package function it transitively calls). Config is the single entry
+// point for all of Table 7's architectural parameters; a field added for a
+// new experiment knob but never audited in Validate is how a zero ROB size
+// or a negative latency reaches the cycle model and dies as a mid-run
+// invariant panic instead of an immediate, named configuration error. Fields
+// with genuinely no invariant are still referenced (`_ = c.Field`) so the
+// audit is visible and complete.
+var ConfigValidate = &Analyzer{
+	Name: "configvalidate",
+	Doc:  "every exported pipeline.Config field must be referenced in Validate",
+	Match: func(pkgPath string) bool {
+		return pathIn(pkgPath, "internal/pipeline")
+	},
+	Run: runConfigValidate,
+}
+
+func runConfigValidate(p *Pass) {
+	// Locate `type Config struct` and its field declarations.
+	var (
+		cfgType   *types.Named
+		fieldDecl = map[types.Object]*ast.Ident{}
+	)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				named, ok := p.Pkg.Info.Defs[ts.Name].Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				cfgType = named
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if name.IsExported() {
+							fieldDecl[p.Pkg.Info.Defs[name]] = name
+						}
+					}
+				}
+			}
+		}
+	}
+	if cfgType == nil {
+		return
+	}
+
+	// Locate the Validate method and the package's function declarations.
+	decls, _ := packageFuncs(p)
+	var validate *ast.FuncDecl
+	for fn, d := range decls {
+		sig := fn.Type().(*types.Signature)
+		if fn.Name() != "Validate" || sig.Recv() == nil {
+			continue
+		}
+		if recvNamed(sig.Recv().Type()) == cfgType {
+			validate = d
+		}
+	}
+	if validate == nil {
+		p.Reportf(cfgType.Obj().Pos(), "Config has no Validate method; every exported field needs a validation/defaulting audit")
+		return
+	}
+
+	// Walk Validate and its intra-package callees, collecting Config field
+	// references.
+	referenced := map[types.Object]bool{}
+	visited := map[*ast.FuncDecl]bool{}
+	queue := []*ast.FuncDecl{validate}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if visited[d] {
+			continue
+		}
+		visited[d] = true
+		ast.Inspect(d, func(n ast.Node) bool {
+			if se, ok := n.(*ast.SelectorExpr); ok {
+				if sel, ok := p.Pkg.Info.Selections[se]; ok && sel.Kind() == types.FieldVal &&
+					recvNamed(sel.Recv()) == cfgType {
+					referenced[sel.Obj()] = true
+				}
+			}
+			return true
+		})
+		for _, callee := range calleeDecls(p, d, decls) {
+			queue = append(queue, callee)
+		}
+	}
+
+	for obj, ident := range fieldDecl {
+		if !referenced[obj] {
+			p.Reportf(ident.Pos(), "exported Config field %s is never referenced in the Validate path; add a check (or an explicit `_ = c.%s` audit)", obj.Name(), obj.Name())
+		}
+	}
+}
+
+// recvNamed unwraps a (possibly pointer) receiver or selection type to its
+// named type.
+func recvNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// packageFuncs maps every function/method declared in the package to its
+// declaration.
+func packageFuncs(p *Pass) (map[*types.Func]*ast.FuncDecl, []*ast.FuncDecl) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+					order = append(order, fd)
+				}
+			}
+		}
+	}
+	return decls, order
+}
+
+// calleeDecls resolves the static intra-package calls made inside d.
+func calleeDecls(p *Pass, d *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	ast.Inspect(d, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := p.Pkg.Info.Uses[id].(*types.Func); ok {
+			if callee, ok := decls[fn]; ok {
+				out = append(out, callee)
+			}
+		}
+		return true
+	})
+	return out
+}

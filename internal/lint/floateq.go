@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != with a floating-point operand in the statistics
+// and experiment packages, where speedups, rates and harmonic means are
+// computed: exact float comparison is almost always a rounding-error trap
+// that shows up as a one-ULP flicker in a rendered table. Compare against an
+// epsilon, restructure to compare the integer inputs, or suppress with a
+// reason when exactness is intended (e.g. testing a float that was assigned
+// from an integer literal). Constant-folded comparisons are ignored.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on floating-point values; compare integers or use an epsilon",
+	Match: func(pkgPath string) bool {
+		return pathIn(pkgPath, "internal/stats", "internal/experiment")
+	},
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if tv, ok := p.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if isFloat(p.TypeOf(be.X)) || isFloat(p.TypeOf(be.Y)) {
+				p.Reportf(be.OpPos, "%s on floating-point operands is exact-equality; compare the integer inputs or use an epsilon", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

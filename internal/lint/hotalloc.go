@@ -1,0 +1,419 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc structurally pins the cycle model's 0 allocs/op result. Functions
+// annotated //ctcp:hotpath — the steady-state cycle loop — and every
+// intra-package function they transitively call are checked for allocating
+// constructs:
+//
+//   - make and new
+//   - map and slice composite literals, and &T{} (an escaping heap literal)
+//   - append to a non-persistent slice (one not rooted in a struct field,
+//     package variable or parameter; appends into reused buffers amortize to
+//     zero steady-state allocation, fresh slices allocate every call)
+//   - any fmt call (they all allocate)
+//   - closure and method-value creation, unless the closure is immediately
+//     invoked or bound to a local that is only ever called
+//   - boxing a non-pointer value into an interface
+//
+// Deliberate amortized allocation sites (pool refills, table growth) are
+// annotated //ctcp:coldpath: the traversal does not descend into them, which
+// keeps the warm-up path honest without scattering suppressions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocating construct inside a //ctcp:hotpath function or its callees",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	decls, order := packageFuncs(p)
+	cold := map[*ast.FuncDecl]bool{}
+	var roots []*ast.FuncDecl
+	for _, d := range order {
+		if funcAnnotated(d, "ctcp:coldpath") {
+			cold[d] = true
+		}
+		if funcAnnotated(d, "ctcp:hotpath") {
+			if cold[d] {
+				p.Reportf(d.Name.Pos(), "%s is annotated both //ctcp:hotpath and //ctcp:coldpath", d.Name.Name)
+				continue
+			}
+			roots = append(roots, d)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	type item struct {
+		decl *ast.FuncDecl
+		root string
+	}
+	visited := map[*ast.FuncDecl]bool{}
+	var queue []item
+	for _, r := range roots {
+		queue = append(queue, item{r, r.Name.Name})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if visited[it.decl] || cold[it.decl] {
+			continue
+		}
+		visited[it.decl] = true
+		checkHotFunc(p, it.decl, it.root)
+		for _, callee := range calleeDecls(p, it.decl, decls) {
+			queue = append(queue, item{callee, it.root})
+		}
+	}
+}
+
+// checkHotFunc reports every allocating construct in one hot function.
+func checkHotFunc(p *Pass, d *ast.FuncDecl, root string) {
+	if d.Body == nil {
+		return
+	}
+	rooted := rootedSlices(p, d)
+
+	// Expressions appearing in call position (CallExpr.Fun): closures and
+	// method values used here do not outlive the call.
+	callFuns := map[ast.Expr]bool{}
+	// Closures bound to a local variable: lit -> variable object.
+	litVar := map[*ast.FuncLit]types.Object{}
+	// All function literals, for locating a ReturnStmt's enclosing signature.
+	var lits []*ast.FuncLit
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(n.Fun)] = true
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := p.Pkg.Info.Defs[id]; obj != nil {
+								litVar[lit] = obj
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			lits = append(lits, n)
+		}
+		return true
+	})
+
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, d, n, rooted, root)
+		case *ast.CompositeLit:
+			t := p.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in the hot path of //ctcp:hotpath %s", root)
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in the hot path of //ctcp:hotpath %s", root)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "&composite literal heap-allocates in the hot path of //ctcp:hotpath %s", root)
+				}
+			}
+		case *ast.FuncLit:
+			if callFuns[ast.Expr(n)] {
+				return true // immediately invoked
+			}
+			if obj, ok := litVar[n]; ok && onlyCalled(p, d, obj, callFuns) {
+				return true // bound to a local that is only ever called
+			}
+			p.Reportf(n.Pos(), "closure creation allocates in the hot path of //ctcp:hotpath %s", root)
+		case *ast.SelectorExpr:
+			if sel, ok := p.Pkg.Info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[ast.Expr(n)] {
+				p.Reportf(n.Pos(), "method value %s creates a closure in the hot path of //ctcp:hotpath %s; bind it once outside the loop", n.Sel.Name, root)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					reportBoxing(p, n.Rhs[i], p.TypeOf(n.Lhs[i]), root)
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := enclosingSignature(p, d, lits, n.Pos())
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					reportBoxing(p, res, sig.Results().At(i).Type(), root)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall handles builtins (make/new/append), fmt calls, interface
+// conversions and argument boxing for one call site.
+func checkHotCall(p *Pass, d *ast.FuncDecl, call *ast.CallExpr, rooted map[types.Object]bool, root string) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Pos(), "make allocates in the hot path of //ctcp:hotpath %s", root)
+			case "new":
+				p.Reportf(call.Pos(), "new allocates in the hot path of //ctcp:hotpath %s", root)
+			case "append":
+				if len(call.Args) > 0 && !sliceRooted(p, call.Args[0], rooted) {
+					p.Reportf(call.Pos(), "append to a non-persistent slice allocates on every call in the hot path of //ctcp:hotpath %s; append into a reused field/parameter buffer", root)
+				}
+			}
+			return
+		}
+	}
+
+	// Type conversions: only interface targets allocate (boxing).
+	if tv, ok := p.Pkg.Info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			reportBoxing(p, call.Args[0], tv.Type, root)
+		}
+		return
+	}
+
+	// fmt.* always allocates.
+	if se, ok := fun.(*ast.SelectorExpr); ok {
+		if obj, ok := p.Pkg.Info.Uses[se.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s allocates in the hot path of //ctcp:hotpath %s", obj.Name(), root)
+			return
+		}
+	}
+
+	// Argument boxing against the callee signature.
+	sig, ok := p.TypeOf(fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		reportBoxing(p, arg, param, root)
+	}
+}
+
+// reportBoxing flags storing a non-pointer-shaped concrete value into an
+// interface-typed destination.
+func reportBoxing(p *Pass, src ast.Expr, dst types.Type, root string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := p.TypeOf(src)
+	if st == nil {
+		return
+	}
+	if b, ok := st.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // already an interface, or pointer-shaped: no allocation
+	}
+	p.Reportf(src.Pos(), "non-pointer %s boxed into interface %s allocates in the hot path of //ctcp:hotpath %s",
+		types.TypeString(st, types.RelativeTo(p.Pkg.Types)),
+		types.TypeString(dst, types.RelativeTo(p.Pkg.Types)), root)
+}
+
+// onlyCalled reports whether every use of obj inside d is in call position.
+func onlyCalled(p *Pass, d *ast.FuncDecl, obj types.Object, callFuns map[ast.Expr]bool) bool {
+	ok := true
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent && p.Pkg.Info.Uses[id] == obj && !callFuns[ast.Expr(id)] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// enclosingSignature returns the signature governing a return statement at
+// pos: the innermost enclosing function literal, or the declaration itself.
+func enclosingSignature(p *Pass, d *ast.FuncDecl, lits []*ast.FuncLit, pos token.Pos) *types.Signature {
+	var best *ast.FuncLit
+	for _, lit := range lits {
+		if lit.Body.Pos() <= pos && pos <= lit.Body.End() {
+			if best == nil || (best.Body.Pos() <= lit.Body.Pos() && lit.Body.End() <= best.Body.End()) {
+				best = lit
+			}
+		}
+	}
+	if best != nil {
+		sig, _ := p.TypeOf(best).(*types.Signature)
+		return sig
+	}
+	if fn, ok := p.Pkg.Info.Defs[d.Name].(*types.Func); ok {
+		return fn.Type().(*types.Signature)
+	}
+	return nil
+}
+
+// rootedSlices computes, per function, the set of local variables that only
+// ever alias persistent storage (struct fields, package variables,
+// parameters, or re-slices/appends thereof). Appending to such a variable
+// amortizes: after warm-up the backing array has grown to its steady-state
+// capacity and append never allocates again. Appending to anything else
+// allocates on every call.
+func rootedSlices(p *Pass, d *ast.FuncDecl) map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	assigns := map[types.Object][]ast.Expr{}
+	// Parameters and receivers alias caller-owned storage: seed them rooted
+	// (an assignment of fresh storage to one still strikes it below).
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil {
+					rooted[obj] = true
+				}
+			}
+		}
+	}
+	addFields(d.Recv)
+	addFields(d.Type.Params)
+	ast.Inspect(d, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			addFields(lit.Type.Params)
+		}
+		return true
+	})
+	collect := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		assigns[obj] = append(assigns[obj], rhs)
+	}
+	ast.Inspect(d, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					collect(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				// Multi-value assignment: conservatively unrooted.
+				for i := range n.Lhs {
+					collect(n.Lhs[i], nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					collect(name, n.Values[i])
+				} else {
+					collect(name, nil) // zero-value local: fresh storage
+				}
+			}
+		}
+		return true
+	})
+	// Optimistic fixpoint: assume every assigned variable is rooted, then
+	// strike any with an assignment that is not rooted under the current
+	// assumption (self-references like v = append(v, x) stay stable).
+	for obj := range assigns { //ctcp:lint-ok maporder -- fixpoint over a set; result is order-independent
+		rooted[obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, rhss := range assigns {
+			if !rooted[obj] {
+				continue
+			}
+			for _, rhs := range rhss {
+				if rhs == nil || !sliceRooted(p, rhs, rooted) {
+					delete(rooted, obj)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return rooted
+}
+
+// sliceRooted reports whether e denotes persistent storage under the rooted
+// local-variable assumption.
+func sliceRooted(p *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = p.Pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		if rooted[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			return v.Parent() == v.Pkg().Scope() // package-level variable
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		if v, ok := p.Pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level variable (possibly qualified)
+		}
+		return false
+	case *ast.IndexExpr:
+		return sliceRooted(p, e.X, rooted)
+	case *ast.SliceExpr:
+		return sliceRooted(p, e.X, rooted)
+	case *ast.StarExpr:
+		return sliceRooted(p, e.X, rooted)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return sliceRooted(p, e.Args[0], rooted)
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+

@@ -1,0 +1,204 @@
+// Package lint is a from-scratch static analysis framework for this module,
+// built only on the standard library's go/parser, go/ast and go/types (the
+// repo is stdlib-only, so x/tools is off limits). It exists to turn the
+// simulator's load-bearing but otherwise unenforced properties — determinism
+// of every rendered artifact, the allocation-free cycle-model hot path, the
+// absence of wall-clock and unseeded randomness in the timing model — into
+// machine-checked rules, the way the differential and golden-stats tests pin
+// cycle-exactness.
+//
+// Conventions understood by the framework and its analyzers:
+//
+//   - //ctcp:hotpath on a function declaration marks it as part of the
+//     steady-state cycle loop; the hotalloc analyzer checks it and every
+//     intra-package function it (transitively) calls for allocating
+//     constructs.
+//   - //ctcp:coldpath on a function declaration marks a deliberate amortized
+//     or warm-up allocation site (pool refill, table growth); hotalloc does
+//     not descend into it.
+//   - //ctcp:lint-ok <rule>[,<rule>...] [reason] suppresses the named rules
+//     on the comment's own line and on the line immediately below it.
+//
+// The cmd/ctcplint driver loads every package in the module, type-checks it,
+// runs the registry returned by All, and reports file:line diagnostics.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a concrete source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the driver's one-line plain-text form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("ctcp/internal/pipeline")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// suppressions: filename -> line -> rules suppressed on that line.
+	suppress map[string]map[int][]string
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match reports whether the analyzer applies to a package path; a nil
+	// Match means every package.
+	Match func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) run context handed to Analyzer.Run.
+type Pass struct {
+	Pkg      *Package
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //ctcp:lint-ok suppression
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// suppressOkPrefix introduces a suppression comment.
+const suppressOkPrefix = "ctcp:lint-ok"
+
+// buildSuppressions scans every comment in the package once and records, per
+// file and line, which rules are suppressed there. A suppression covers the
+// comment's own line (trailing-comment form) and the next line (the
+// comment-above form).
+func (pkg *Package) buildSuppressions() {
+	pkg.suppress = make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, suppressOkPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, suppressOkPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				m := pkg.suppress[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					pkg.suppress[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], rules...)
+				m[pos.Line+1] = append(m[pos.Line+1], rules...)
+			}
+		}
+	}
+}
+
+func (pkg *Package) suppressed(pos token.Position, rule string) bool {
+	for _, r := range pkg.suppress[pos.Filename][pos.Line] {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer registry in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		HotAlloc,
+		NonDet,
+		FloatEq,
+		ConfigValidate,
+		WriteCheck,
+	}
+}
+
+// Run executes the given analyzers over the given packages and returns the
+// surviving (unsuppressed) diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.suppress == nil {
+			pkg.buildSuppressions()
+		}
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, Analyzer: a, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// pathIn reports whether pkgPath denotes one of the named module-relative
+// packages (e.g. "internal/pipeline"), regardless of the module prefix.
+func pathIn(pkgPath string, names ...string) bool {
+	for _, n := range names {
+		if pkgPath == n || strings.HasSuffix(pkgPath, "/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether a function declaration's doc comment carries
+// the given //ctcp:<marker> line.
+func funcAnnotated(d *ast.FuncDecl, marker string) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if f := strings.Fields(text); len(f) > 0 && f[0] == marker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantKey identifies one expected diagnostic: fixture file base name, line,
+// rule.
+type wantKey struct {
+	file string
+	line int
+	rule string
+}
+
+// parseWant scans a fixture package's comments for `want:<rule>` markers. A
+// marker means "at least one diagnostic of <rule> on this line"; every line
+// without one must stay silent. The fixtures also carry //ctcp:lint-ok
+// comments (both the trailing and the comment-above form), so the same
+// bidirectional comparison exercises suppression: a suppressed line has no
+// want marker and must produce nothing.
+func parseWant(pkg *Package) map[wantKey]bool {
+	want := map[wantKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, field := range strings.Fields(c.Text) {
+					rule, ok := strings.CutPrefix(field, "want:")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					want[wantKey{filepath.Base(pos.Filename), pos.Line, rule}] = true
+				}
+			}
+		}
+	}
+	return want
+}
+
+// TestAnalyzerFixtures loads each analyzer's fixture under an import path the
+// analyzer scopes to and compares its diagnostics against the fixture's
+// want markers in both directions.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		dir        string
+		importPath string
+		analyzer   *Analyzer
+	}{
+		{"maporder", "ctcp/internal/experiment", MapOrder},
+		{"hotalloc", "ctcp/internal/fixture", HotAlloc},
+		{"nondet", "ctcp/internal/emu", NonDet},
+		{"floateq", "ctcp/internal/stats", FloatEq},
+		{"configvalidate", "ctcp/internal/pipeline", ConfigValidate},
+		{"configmissing", "ctcp/internal/pipeline", ConfigValidate},
+		{"writecheck", "ctcp/cmd/fixture", WriteCheck},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			if tc.analyzer.Match != nil && !tc.analyzer.Match(tc.importPath) {
+				t.Fatalf("case error: %s does not match import path %s", tc.analyzer.Name, tc.importPath)
+			}
+			// A fresh Loader per case keeps fixture packages loaded under
+			// synthetic module paths out of each other's memo tables.
+			l, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			want := parseWant(pkg)
+
+			seen := map[wantKey]bool{}
+			for _, d := range got {
+				k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}
+				if !want[k] {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				seen[k] = true
+			}
+			var missing []string
+			for k := range want { //ctcp:lint-ok maporder -- missing-set is sorted before reporting
+				if !seen[k] {
+					missing = append(missing, k.file+":"+itoa(k.line)+": "+k.rule)
+				}
+			}
+			sort.Strings(missing)
+			for _, m := range missing {
+				t.Errorf("missing diagnostic: %s", m)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestModuleLintsClean is the acceptance gate for the annotations and
+// suppressions in the tree itself: the full registry over every package in
+// the module must produce zero diagnostics. The hot path passes hotalloc on
+// its own merits (no suppressions), so any new allocating construct reached
+// from a //ctcp:hotpath root fails this test with a file:line finding.
+func TestModuleLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module (plus stdlib sources)")
+	}
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d.String())
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal import paths are resolved against the
+// module root on disk, everything else is delegated to the source importer
+// (which reads the standard library from GOROOT/src). There is no x/tools
+// dependency and no invocation of the go command.
+type Loader struct {
+	Fset *token.FileSet
+
+	module string // module path from go.mod
+	root   string // module root directory
+	std    types.Importer
+
+	pkgs map[string]*Package // by import path
+}
+
+// NewLoader builds a Loader for the module rooted at dir (the directory
+// containing go.mod). Pass "" to search upward from the working directory.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		module: module,
+		root:   root,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+	}, nil
+}
+
+// Module returns the module path ("ctcp").
+func (l *Loader) Module() string { return l.module }
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// findModule locates go.mod at or above dir and parses its module line.
+func findModule(dir string) (root, module string, err error) {
+	if dir == "" {
+		dir, err = os.Getwd()
+		if err != nil {
+			return "", "", err
+		}
+	}
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from disk,
+// "unsafe" maps to types.Unsafe, and everything else (the standard library)
+// goes through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.module {
+		return l.root
+	}
+	rel := strings.TrimPrefix(importPath, l.module+"/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module-internal package (memoized).
+func (l *Loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // cycle guard
+	pkg, err := l.check(l.dirFor(importPath), importPath)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// check parses every non-test .go file in dir and type-checks the result
+// under the given import path.
+func (l *Loader) check(dir, importPath string) (*Package, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goSources lists the buildable non-test .go files in dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule walks the module tree and loads every package in it (any
+// directory holding at least one non-test .go file), skipping testdata and
+// hidden directories. Packages come back sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			rel, err := filepath.Rel(l.root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			importPath := l.module
+			if rel != "." {
+				importPath = l.module + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, importPath)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	paths = dedupe(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDirAs parses and type-checks a single directory under a caller-chosen
+// import path. Analyzer tests use it to load fixture packages as if they
+// lived at the paths the analyzers scope to.
+func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
+	pkg, err := l.check(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in the packages whose outputs feed the
+// paper artifacts. Go randomizes map iteration order, so any map range that
+// influences rendered tables/figures, steering decisions, or simulation
+// order is a reproducibility hazard: the FDRT sweeps must be byte-identical
+// across runs. Loops that are genuinely order-insensitive (pure accumulation
+// into another map, collect-keys-then-sort) carry an explicit
+// //ctcp:lint-ok maporder suppression with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map has nondeterministic order; sort keys before iterating",
+	Match: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"internal/pipeline", "internal/core", "internal/emu",
+			"internal/trace", "internal/experiment", "internal/stats")
+	},
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(rng.Range,
+					"range over map %s iterates in nondeterministic order; sort the keys first (or suppress with //ctcp:lint-ok maporder if provably order-insensitive)",
+					types.TypeString(t, types.RelativeTo(p.Pkg.Types)))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDet bans the three classic sources of run-to-run variation from the
+// simulation core: wall-clock reads (time.Now), ambient randomness
+// (math/rand package-level functions — an explicitly seeded *rand.Rand is
+// fine, so the constructors New/NewSource stay legal), and goroutine
+// spawns (the cycle model is single-threaded by design; concurrency lives
+// in the experiment runner, which is outside this scope). The determinism
+// test in internal/pipeline proves the property dynamically; this rule keeps
+// the ingredients for breaking it out of the core packages entirely.
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc:  "wall clock, ambient randomness and goroutines are banned in the simulation core",
+	Match: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"internal/pipeline", "internal/core", "internal/emu",
+			"internal/trace", "internal/cluster", "internal/bpred",
+			"internal/cachesim", "internal/isa")
+	},
+	Run: runNonDet,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than consume the ambient one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewChaCha8": true, "NewPCG": true}
+
+func runNonDet(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Go, "goroutine spawn in the simulation core; the cycle model must stay single-threaded and deterministic")
+			case *ast.SelectorExpr:
+				obj, ok := p.Pkg.Info.Uses[n.Sel]
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods (e.g. (*rand.Rand).Intn) are fine
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						p.Reportf(n.Pos(), "time.Now in the simulation core makes results depend on the wall clock")
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[fn.Name()] {
+						p.Reportf(n.Pos(), "%s.%s consumes the ambient random source; use an explicitly seeded *rand.Rand", obj.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture for the configvalidate analyzer's missing-method case: a Config
+// struct with no Validate method is itself a diagnostic, reported at the type
+// declaration.
+package fixture
+
+type Config struct { // want:configvalidate
+	ROBSize int
+}
+
+func use(c Config) int { return c.ROBSize }

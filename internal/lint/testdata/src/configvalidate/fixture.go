@@ -1,0 +1,30 @@
+// Fixture for the configvalidate analyzer: Config has a Validate method, so
+// every exported field must be referenced in the Validate path — by a real
+// check, an explicit `_ = c.Field` audit, or transitively through a helper.
+package fixture
+
+import "errors"
+
+type Config struct {
+	ROBSize    int // validated directly
+	FetchWidth int // validated in a helper reached from Validate
+	MaxInsts   int64 // audited explicitly: no invariant to enforce
+	Forgotten  int // want:configvalidate
+	internal   int // unexported fields are not the analyzer's business
+}
+
+func (c Config) Validate() error {
+	if c.ROBSize <= 0 {
+		return errors.New("ROBSize must be positive")
+	}
+	_ = c.MaxInsts
+	return c.validateFetch()
+}
+
+func (c Config) validateFetch() error {
+	if c.FetchWidth <= 0 {
+		return errors.New("FetchWidth must be positive")
+	}
+	_ = c.internal
+	return nil
+}

@@ -1,0 +1,26 @@
+// Fixture for the floateq analyzer: exact ==/!= with a floating operand is
+// flagged; integer comparisons, orderings and constant folds are not.
+package fixture
+
+func compare(a, b float64, x int, f float32) bool {
+	if a == b { // want:floateq
+		return true
+	}
+	if a != 0 { // want:floateq
+		return false
+	}
+	if f == 1.5 { // want:floateq
+		return true
+	}
+	if x == 3 { // integers compare exactly: no diagnostic
+		return true
+	}
+	const c = 1.5
+	const folded = c == 1.5 // constant-folded at compile time: no diagnostic
+	_ = folded
+	return a < b // orderings are fine
+}
+
+func suppressed(got, want float64) bool {
+	return got == want //ctcp:lint-ok floateq -- golden value assigned, never computed
+}

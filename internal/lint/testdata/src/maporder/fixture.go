@@ -1,0 +1,48 @@
+// Fixture for the maporder analyzer: loaded by lint_test.go under a scoped
+// import path. Marked lines must diagnose; every other line must stay silent.
+package fixture
+
+import "sort"
+
+func iterate(m map[string]int, s []int, a [4]int) int {
+	total := 0
+	for k, v := range m { // want:maporder
+		_ = k
+		total += v
+	}
+	for i := range s { // slices are ordered: no diagnostic
+		total += s[i]
+	}
+	for _, v := range a { // arrays are ordered: no diagnostic
+		total += v
+	}
+	return total
+}
+
+func sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressedAbove(m map[string]int) int {
+	n := 0
+	//ctcp:lint-ok maporder -- order-insensitive sum
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+type wrapper map[int]bool
+
+func named(w wrapper) int {
+	n := 0
+	for range w { // want:maporder
+		n++
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+// Fixture for the nondet analyzer: wall-clock reads, ambient randomness and
+// goroutine spawns are banned; seeded generators and their methods are fine.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want:nondet
+	_ = time.Duration(3) * time.Second
+	return t.Unix()
+}
+
+func ambient() int {
+	return rand.Int() // want:nondet
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1)) // constructors build a seeded generator
+	return r.Intn(4)                 // methods on *rand.Rand are fine
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want:nondet
+}
+
+func suppressed() int64 {
+	//ctcp:lint-ok nondet -- diagnostic timestamp, not simulation state
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,32 @@
+// Fixture for the writecheck analyzer: discarded fmt.Fprint* errors to
+// fallible destinations are flagged; the conventional infallible sinks and
+// checked-error forms are not.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func report(f *os.File, w io.Writer) error {
+	fmt.Fprintf(f, "result: %d\n", 1) // want:writecheck
+	fmt.Fprintln(w, "note")           // want:writecheck
+
+	fmt.Fprintf(os.Stdout, "ok\n")  // stdout is conventionally infallible
+	fmt.Fprintln(os.Stderr, "warn") // so is stderr
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "buffered") // strings.Builder never fails
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, "buffered") // neither does bytes.Buffer
+
+	if _, err := fmt.Fprintf(f, "checked\n"); err != nil { // error is handled
+		return err
+	}
+
+	fmt.Fprintf(f, "best effort\n") //ctcp:lint-ok writecheck -- advisory trailer, exit code already set
+	return nil
+}

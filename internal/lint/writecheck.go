@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WriteCheck flags fmt.Fprint/Fprintf/Fprintln calls in the cmd/ tools whose
+// error result is discarded while writing to a destination that can actually
+// fail — an *os.File opened for output, or any io.Writer that is not one of
+// the conventionally infallible sinks (os.Stdout, os.Stderr,
+// strings.Builder, bytes.Buffer). A full disk or closed pipe must surface as
+// a non-zero exit, not a silently truncated artifact file.
+var WriteCheck = &Analyzer{
+	Name: "writecheck",
+	Doc:  "discarded error writing to a fallible destination in cmd/",
+	Match: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/cmd/") || strings.HasPrefix(pkgPath, "cmd/")
+	},
+	Run: runWriteCheck,
+}
+
+func runWriteCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Pkg.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+				return true
+			}
+			switch obj.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+			default:
+				return true
+			}
+			if infallibleWriter(p, call.Args[0]) {
+				return true
+			}
+			p.Reportf(call.Pos(), "fmt.%s error discarded while writing to a fallible destination; check the error (or write to a buffer and flush once)", obj.Name())
+			return true
+		})
+	}
+}
+
+// infallibleWriter reports whether the writer expression is one of the sinks
+// whose write errors are conventionally ignorable.
+func infallibleWriter(p *Pass, w ast.Expr) bool {
+	// os.Stdout / os.Stderr by identity.
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if obj, ok := p.Pkg.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	// strings.Builder / bytes.Buffer (possibly behind & or a pointer) by type.
+	t := p.TypeOf(w)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		return full == "strings.Builder" || full == "bytes.Buffer"
+	}
+	return false
+}

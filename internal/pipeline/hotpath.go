@@ -110,16 +110,32 @@ type pcTable struct {
 	overflow map[uint64]*pcStats
 }
 
+// statsFor is the steady-state lookup: once the table covers the program's
+// working set it is a single bounds-checked index. Anything else — first
+// touch, growth in either direction, the overflow map — is the cold path.
 func (t *pcTable) statsFor(pc uint64, stride uint64) *pcStats {
 	idx := pc / stride
+	if t.tab == nil || idx < t.base || idx-t.base >= uint64(len(t.tab)) {
+		return t.grow(pc, idx)
+	}
+	return &t.tab[idx-t.base]
+}
+
+// grow extends the dense table to cover idx (doubling toward the back,
+// exact-prepending toward the front) or falls back to the overflow map when
+// the span would exceed maxPCTableEntries. Growth doubles, so the work
+// amortizes to zero per steady-state lookup.
+//
+//ctcp:coldpath
+func (t *pcTable) grow(pc, idx uint64) *pcStats {
 	if t.tab == nil {
 		t.base = idx
 		t.tab = make([]pcStats, 64)
 	}
 	if idx < t.base {
-		if grow := t.base - idx; grow+uint64(len(t.tab)) <= maxPCTableEntries {
-			nt := make([]pcStats, grow+uint64(len(t.tab)))
-			copy(nt[grow:], t.tab)
+		if front := t.base - idx; front+uint64(len(t.tab)) <= maxPCTableEntries {
+			nt := make([]pcStats, front+uint64(len(t.tab)))
+			copy(nt[front:], t.tab)
 			t.tab = nt
 			t.base = idx
 		} else {
@@ -142,6 +158,10 @@ func (t *pcTable) statsFor(pc uint64, stride uint64) *pcStats {
 	return &t.tab[off]
 }
 
+// slow is the overflow-map fallback for PC ranges too wild for the dense
+// table; each new static instruction allocates once.
+//
+//ctcp:coldpath
 func (t *pcTable) slow(pc uint64) *pcStats {
 	if t.overflow == nil {
 		t.overflow = make(map[uint64]*pcStats)
@@ -154,7 +174,9 @@ func (t *pcTable) slow(pc uint64) *pcStats {
 	return e
 }
 
-// allocInflight hands out a pooled record, fully zeroed.
+// allocInflight hands out a pooled record, fully zeroed. Steady state always
+// hits the free list: records recycle through reclaim, so the pool only
+// grows while the in-flight window is still ramping up.
 func (p *Pipeline) allocInflight() *inflight {
 	if n := len(p.freeList); n > 0 {
 		inf := p.freeList[n-1]
@@ -162,6 +184,14 @@ func (p *Pipeline) allocInflight() *inflight {
 		*inf = inflight{}
 		return inf
 	}
+	return newRecord()
+}
+
+// newRecord mints a fresh pool entry while the in-flight window ramps up to
+// its steady-state population (bounded by ROB size plus graveyard slack).
+//
+//ctcp:coldpath
+func newRecord() *inflight {
 	return &inflight{}
 }
 

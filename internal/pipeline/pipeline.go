@@ -115,8 +115,14 @@ type Pipeline struct {
 	S Stats
 }
 
-// New builds a pipeline reading committed instructions from stream.
+// New builds a pipeline reading committed instructions from stream. The
+// configuration is validated up front: a bad Config panics *core.InvariantError
+// immediately (recovered into a *SimError by RunProgramErr) rather than
+// failing later inside the model.
 func New(stream emu.Stream, cfg Config) *Pipeline {
+	if err := cfg.Validate(); err != nil {
+		panic(&core.InvariantError{Msg: err.Error()})
+	}
 	g := cfg.Geom
 	p := &Pipeline{
 		cfg:       cfg,
@@ -189,6 +195,8 @@ func (p *Pipeline) done() bool {
 
 // cycle runs one machine cycle; it reports whether any state changed (used
 // to fast-forward through idle periods).
+//
+//ctcp:hotpath
 func (p *Pipeline) cycle() bool {
 	worked := false
 	if p.retire() {
@@ -280,6 +288,9 @@ func (p *Pipeline) take() emu.Committed {
 
 // --- fetch ---
 
+// fetch pulls one fetch group per cycle from the trace cache or icache path.
+//
+//ctcp:hotpath
 func (p *Pipeline) fetch() bool {
 	if p.pendingRedirect != nil || p.now < p.nextFetch {
 		return false
@@ -441,6 +452,10 @@ func (p *Pipeline) clearRedirect() {
 
 // --- rename ---
 
+// rename maps architectural sources to in-flight producers and admits
+// instructions into the ROB.
+//
+//ctcp:hotpath
 func (p *Pipeline) rename() bool {
 	budget := p.cfg.FetchWidth
 	worked := false
@@ -504,6 +519,10 @@ func (p *Pipeline) wu(c int, st cluster.RSKind) *int {
 	return &p.writeUsed[c*int(cluster.NumRSKinds)+int(st)]
 }
 
+// dispatch moves renamed instructions into reservation stations, applying
+// the configured steering strategy and write-port limits.
+//
+//ctcp:hotpath
 func (p *Pipeline) dispatch() bool {
 	worked := false
 	clear(p.writeUsed)
@@ -731,6 +750,10 @@ func (p *Pipeline) freeFU(c int, class isa.Class) cluster.FUKind {
 	return cluster.FUKind(-1)
 }
 
+// issue wakes ready reservation-station entries and dispatches them to free
+// functional units.
+//
+//ctcp:hotpath
 func (p *Pipeline) issue() bool {
 	worked := false
 	for c := 0; c < p.geom.Clusters; c++ {
@@ -924,6 +947,10 @@ func (p *Pipeline) sbOccupied() int {
 	return len(p.sbDrain)
 }
 
+// retire drains completed instructions from the ROB head in program order,
+// feeding the fill unit and the store buffer.
+//
+//ctcp:hotpath
 func (p *Pipeline) retire() bool {
 	budget := p.cfg.RetireWidth
 	worked := false

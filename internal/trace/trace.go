@@ -214,8 +214,10 @@ func (c *Cache) Lookup(pc uint64, pred func(branchPC uint64) bool) *Trace {
 // Install places a constructed trace into the cache. A line with the same
 // start PC and the same embedded path is replaced in place (the fill unit
 // refreshing profile fields and slot order); otherwise the LRU way of the
-// set is evicted.
-func (c *Cache) Install(t *Trace) {
+// set is evicted. The displaced line, if any, is returned so the caller can
+// recycle its storage (see Builder.Recycle); nothing else may hold a
+// reference to it once Install returns.
+func (c *Cache) Install(t *Trace) *Trace {
 	c.S.Installs++
 	set := c.set(t.StartPC)
 	c.stamp++
@@ -226,7 +228,7 @@ func (c *Cache) Install(t *Trace) {
 			c.lines[set][w] = t
 			c.lru[set][w] = c.stamp
 			c.S.Updated++
-			return
+			return old
 		}
 	}
 	victim, victimStamp := 0, uint64(1<<63)
@@ -239,12 +241,14 @@ func (c *Cache) Install(t *Trace) {
 			victim, victimStamp = w, c.lru[set][w]
 		}
 	}
-	if c.lines[set][victim] != nil {
+	displaced := c.lines[set][victim]
+	if displaced != nil {
 		c.S.Evictions++
 	}
 	c.lines[set][victim] = t
 	c.lru[set][victim] = c.stamp
 	c.S.Replaced++
+	return displaced
 }
 
 // Reset clears contents and statistics.
@@ -278,6 +282,13 @@ type Builder struct {
 	slots    []Slot
 	blocks   int
 	indirect bool
+	// reuse is the recycled line whose storage backs the trace currently
+	// under construction; free holds further recycled lines. Together they
+	// make steady-state trace construction allocation-free: once the cache
+	// is full, every Install displaces one line, which comes back here and
+	// supplies the Trace struct and Slots array for a later build.
+	reuse *Trace
+	free  []*Trace
 }
 
 // NewBuilder returns a trace builder.
@@ -293,10 +304,18 @@ func (b *Builder) Pending() int { return len(b.slots) }
 // trace is returned with slots in logical order; otherwise Add returns nil.
 func (b *Builder) Add(rec emu.Committed) *Trace {
 	if len(b.slots) == 0 {
-		// One allocation per trace: the finished line keeps this backing
-		// array (the cache retains it), so size it for the worst case up
-		// front instead of growing through append's doubling schedule.
-		b.slots = make([]Slot, 0, b.cfg.MaxLen)
+		if n := len(b.free); n > 0 {
+			b.reuse = b.free[n-1]
+			b.free[n-1] = nil
+			b.free = b.free[:n-1]
+			b.slots = b.reuse.Slots[:0]
+		} else {
+			// One allocation per trace until recycling kicks in: the
+			// finished line keeps this backing array (the cache retains
+			// it), so size it for the worst case up front instead of
+			// growing through append's doubling schedule.
+			b.slots = make([]Slot, 0, b.cfg.MaxLen)
+		}
 		b.blocks = 1
 		b.indirect = false
 	}
@@ -345,7 +364,12 @@ func (b *Builder) Flush() *Trace {
 }
 
 func (b *Builder) finish() *Trace {
-	t := &Trace{
+	t := b.reuse
+	if t == nil {
+		t = new(Trace)
+	}
+	b.reuse = nil
+	*t = Trace{
 		StartPC:      b.slots[0].PC,
 		Slots:        b.slots,
 		Blocks:       b.blocks,
@@ -355,6 +379,18 @@ func (b *Builder) finish() *Trace {
 	b.blocks = 0
 	b.indirect = false
 	return t
+}
+
+// Recycle returns a line displaced by Cache.Install to the builder's free
+// pool. The caller must guarantee nothing still references t: the builder
+// will overwrite its struct and slot storage wholesale. Lines whose backing
+// array is smaller than the configured MaxLen (e.g. built under a different
+// configuration) are dropped rather than reused.
+func (b *Builder) Recycle(t *Trace) {
+	if t == nil || cap(t.Slots) < b.cfg.MaxLen {
+		return
+	}
+	b.free = append(b.free, t)
 }
 
 // Dump exposes the raw line array for diagnostics and tests.
