@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race bench results
 
 # check is the CI gate: compile everything, vet, run the module's own static
 # analysis suite (cmd/ctcplint), then the full test suite under the race
@@ -25,6 +25,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# results regenerates results_full.txt, the checked-in full experiment sweep
+# (every table, figure, ablation and sweep at a 200k-instruction budget). The
+# simulator is deterministic, so on an unchanged tree every number must
+# reproduce exactly (only the wall-clock "[... regenerated in ...]" lines
+# vary); a numeric diff after a model change is the change's measured effect
+# on the paper-style results and belongs in the same commit.
+results:
+	$(GO) run ./cmd/ctcpbench -insts 200000 > results_full.txt
 
 # bench runs the cycle-model microbenchmarks, then regenerates
 # BENCH_pipeline.json (current throughput next to the frozen pre-optimization

@@ -8,6 +8,10 @@
 //	ctcpbench -v                   # per-simulation progress on stderr
 //	ctcpbench -microbench          # simulator-throughput report -> BENCH_pipeline.json
 //	ctcpbench -cpuprofile cpu.out  # pprof capture of any of the above
+//	ctcpbench -sample 50000 -sample-detail 25000 -sample-warmup 12500
+//	                               # region-parallel sampled simulation
+//	ctcpbench -resume ckpts/ -checkpoint-every 50000
+//	                               # resumable runs: rerun continues a killed sweep
 //
 // A simulation that aborts (pathological configuration) no longer crashes
 // the process: the failing key is recorded, every artifact that did
@@ -68,26 +72,78 @@ func artifactNames() string {
 	return strings.Join(names, ",")
 }
 
+// cliOptions collects every parsed flag; run takes the struct instead of a
+// positional-argument list that grew unreadable.
+type cliOptions struct {
+	exps       string
+	insts      uint64
+	par        int
+	verbose    bool
+	inject     bool
+	micro      bool
+	benchOut   string
+	benchInsts uint64
+	cpuProf    string
+	memProf    string
+
+	sampleInterval uint64
+	sampleDetail   uint64
+	sampleWarmup   uint64
+	sampleWorkers  int
+	resumeDir      string
+	ckptEvery      uint64
+}
+
+// validate enforces the flag contract shared with experiment.Options:
+// checkpoint spacing is meaningless without a resume directory, and the
+// sampled and checkpointed modes are mutually exclusive.
+func (o *cliOptions) validate() error {
+	if o.ckptEvery != 0 && o.resumeDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -resume <dir>")
+	}
+	if o.sampleInterval != 0 && o.resumeDir != "" {
+		return fmt.Errorf("-sample and -resume are mutually exclusive")
+	}
+	if o.resumeDir != "" {
+		if err := os.MkdirAll(o.resumeDir, 0o755); err != nil {
+			return fmt.Errorf("creating -resume directory: %w", err)
+		}
+	}
+	return nil
+}
+
 // main only parses flags and owns the process exit code; the body lives in
 // run so profile-teardown defers execute before os.Exit.
 func main() {
-	var (
-		exps       = flag.String("exp", "all", "comma-separated list: "+artifactNames()+" or 'all'")
-		insts      = flag.Uint64("insts", experiment.DefaultBudget, "committed instruction budget per run")
-		par        = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose    = flag.Bool("v", false, "log each simulation start/finish/failure to stderr")
-		inject     = flag.Bool("inject-fault", false, "fault-injection self-test: run one deliberately pathological configuration and verify the sweep degrades gracefully (exits non-zero)")
-		micro      = flag.Bool("microbench", false, "measure simulator throughput per kernel and write the JSON report instead of regenerating artifacts")
-		benchOut   = flag.String("bench-out", "BENCH_pipeline.json", "output path for the -microbench report")
-		benchInsts = flag.Uint64("bench-insts", bench.DefaultInsts, "committed instruction budget per -microbench run")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
-	)
+	var o cliOptions
+	flag.StringVar(&o.exps, "exp", "all", "comma-separated list: "+artifactNames()+" or 'all'")
+	flag.Uint64Var(&o.insts, "insts", experiment.DefaultBudget, "committed instruction budget per run")
+	flag.IntVar(&o.par, "par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.verbose, "v", false, "log each simulation start/finish/failure to stderr")
+	flag.BoolVar(&o.inject, "inject-fault", false, "fault-injection self-test: run one deliberately pathological configuration and verify the sweep degrades gracefully (exits non-zero)")
+	flag.BoolVar(&o.micro, "microbench", false, "measure simulator throughput per kernel and write the JSON report instead of regenerating artifacts")
+	flag.StringVar(&o.benchOut, "bench-out", "BENCH_pipeline.json", "output path for the -microbench report")
+	flag.Uint64Var(&o.benchInsts, "bench-insts", bench.DefaultInsts, "committed instruction budget per -microbench run")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile taken at exit to this file")
+	flag.Uint64Var(&o.sampleInterval, "sample", 0, "region-parallel sampled simulation: checkpoint the functional emulator every N instructions and simulate the regions in detail concurrently (0 = full detail)")
+	flag.Uint64Var(&o.sampleDetail, "sample-detail", 0, "instructions simulated in detail per region (0 = the whole region)")
+	flag.Uint64Var(&o.sampleWarmup, "sample-warmup", 0, "warmup instructions per region excluded from the measurement (region 0 is always measured whole)")
+	flag.IntVar(&o.sampleWorkers, "sample-workers", 0, "detailed-simulation workers for -sample (0 = GOMAXPROCS)")
+	flag.StringVar(&o.resumeDir, "resume", "", "checkpoint directory: runs persist resumable state here and a rerun continues where a killed sweep stopped")
+	flag.Uint64Var(&o.ckptEvery, "checkpoint-every", 0, "instructions between on-disk checkpoints (requires -resume; 0 = budget/4)")
 	flag.Parse()
-	os.Exit(run(*exps, *insts, *par, *verbose, *inject, *micro, *benchOut, *benchInsts, *cpuProf, *memProf))
+	os.Exit(run(&o))
 }
 
-func run(exps string, insts uint64, par int, verbose, inject, micro bool, benchOut string, benchInsts uint64, cpuProf, memProf string) int {
+func run(o *cliOptions) int {
+	exps, insts, par, verbose := o.exps, o.insts, o.par, o.verbose
+	inject, micro, benchOut, benchInsts := o.inject, o.micro, o.benchOut, o.benchInsts
+	cpuProf, memProf := o.cpuProf, o.memProf
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpbench: %v\n", err)
+		return 1
+	}
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -126,7 +182,16 @@ func run(exps string, insts uint64, par int, verbose, inject, micro bool, benchO
 		return 0
 	}
 
-	opts := experiment.Options{Budget: insts, Parallelism: par}
+	opts := experiment.Options{
+		Budget:          insts,
+		Parallelism:     par,
+		SampleInterval:  o.sampleInterval,
+		SampleDetail:    o.sampleDetail,
+		SampleWarmup:    o.sampleWarmup,
+		SampleWorkers:   o.sampleWorkers,
+		CheckpointDir:   o.resumeDir,
+		CheckpointEvery: o.ckptEvery,
+	}
 	if verbose {
 		var mu sync.Mutex
 		opts.Progress = func(ev experiment.ProgressEvent) {
@@ -229,6 +294,18 @@ func runMicrobench(path string, insts uint64) error {
 		return err
 	}
 	file.Current = cur
+
+	// Sampled-simulation speedup: measured once per report on the longest
+	// kernel, with workers/NumCPU recorded so the number stays honest on
+	// machines with little parallelism.
+	samp, err := bench.RunSample(bench.SampleInsts, 4)
+	if err != nil {
+		return err
+	}
+	file.Sample = samp
+	fmt.Printf("sampled simulation: %s %d insts, %d workers on %d CPUs: %.2fx wall-clock, IPC %.4f vs %.4f (%+.2f%%)\n",
+		samp.Kernel, samp.Insts, samp.Workers, samp.NumCPU, samp.Speedup,
+		samp.SampledIPC, samp.FullIPC, 100*samp.IPCRelErr)
 
 	names := make([]string, 0, len(cur.Kernels))
 	for name := range cur.Kernels {

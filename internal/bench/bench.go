@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"ctcp/internal/core"
 	"ctcp/internal/pipeline"
+	"ctcp/internal/sample"
 	"ctcp/internal/workload"
 )
 
@@ -49,10 +51,90 @@ type Report struct {
 }
 
 // File is the BENCH_pipeline.json layout: the frozen pre-optimization
-// baseline plus the most recent measurement.
+// baseline plus the most recent measurement, and — once measured — the
+// sampled-simulation speedup record.
 type File struct {
-	Baseline Report `json:"baseline"`
-	Current  Report `json:"current"`
+	Baseline Report        `json:"baseline"`
+	Current  Report        `json:"current"`
+	Sample   *SampleReport `json:"sample,omitempty"`
+}
+
+// SampleReport records one honest wall-clock comparison between a
+// monolithic detailed run and region-parallel sampled simulation of the
+// same kernel and budget. Workers and NumCPU are part of the record: the
+// speedup is only meaningful relative to the parallelism that produced it.
+type SampleReport struct {
+	Kernel       string  `json:"kernel"`
+	Insts        uint64  `json:"insts"`
+	Workers      int     `json:"workers"`
+	NumCPU       int     `json:"num_cpu"`
+	MonolithicNs int64   `json:"monolithic_ns"`
+	SampledNs    int64   `json:"sampled_ns"`
+	Speedup      float64 `json:"speedup"`
+	FullIPC      float64 `json:"full_ipc"`
+	SampledIPC   float64 `json:"sampled_ipc"`
+	IPCRelErr    float64 `json:"ipc_rel_err"`
+}
+
+// SampleInsts is the budget for the sampled-speedup measurement: large
+// enough that region-parallel sampling amortizes its fast-forward pass.
+const SampleInsts = 400_000
+
+// RunSample measures the sampled-simulation speedup on the longest kernel
+// (mcf) with the configuration the acceptance tests use: regions every
+// budget/8 instructions, half of each region simulated in detail, half of
+// that as warmup.
+func RunSample(insts uint64, workers int) (*SampleReport, error) {
+	if insts == 0 {
+		insts = SampleInsts
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const kernel = "mcf"
+	bm, ok := workload.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown kernel %q", kernel)
+	}
+	prog := bm.ProgramFor(insts)
+	cfg := pipeline.DefaultConfig().WithStrategy(core.FDRT, false)
+
+	monoCfg := cfg
+	monoCfg.MaxInsts = insts
+	t0 := time.Now()
+	full := pipeline.RunProgram(prog, monoCfg)
+	monoNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	res, err := sample.Run(prog, cfg, sample.Options{
+		Interval: insts / 8,
+		Detail:   insts / 16,
+		Warmup:   insts / 32,
+		Workers:  workers,
+		MaxInsts: insts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sampNs := time.Since(t0).Nanoseconds()
+
+	rep := &SampleReport{
+		Kernel:       kernel,
+		Insts:        insts,
+		Workers:      workers,
+		NumCPU:       runtime.NumCPU(),
+		MonolithicNs: monoNs,
+		SampledNs:    sampNs,
+		FullIPC:      full.IPC(),
+		SampledIPC:   res.IPC(),
+	}
+	if sampNs > 0 {
+		rep.Speedup = float64(monoNs) / float64(sampNs)
+	}
+	if rep.FullIPC > 0 {
+		rep.IPCRelErr = (rep.SampledIPC - rep.FullIPC) / rep.FullIPC
+	}
+	return rep, nil
 }
 
 // Run measures simulation throughput for every kernel with the FDRT

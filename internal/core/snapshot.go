@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sort"
+
+	"ctcp/internal/snap"
+	"ctcp/internal/trace"
+)
+
+// Snapshot serializes one retired-instruction record (a leaf value: no
+// section of its own).
+func (ri *RetireInfo) Snapshot(w *snap.Writer) {
+	ri.Rec.Snapshot(w)
+	w.Bool(ri.FromTC)
+	w.U8(ri.Profile.Role)
+	w.U8(ri.Profile.ChainCluster)
+	w.Int(ri.Cluster)
+	w.U64(ri.FetchGroup)
+	w.Int(int(ri.CritSrc))
+	w.Bool(ri.CritForwarded)
+	w.U64(ri.CritProducerPC)
+	w.U64(ri.CritProducerSeq)
+	w.Int(ri.CritProducerCluster)
+	w.Bool(ri.CritInterTrace)
+	w.U8(ri.CritProducerProfile.Role)
+	w.U8(ri.CritProducerProfile.ChainCluster)
+}
+
+// Restore rebuilds one retired-instruction record.
+func (ri *RetireInfo) Restore(r *snap.Reader) {
+	ri.Rec.Restore(r)
+	ri.FromTC = r.Bool()
+	ri.Profile.Role = r.U8()
+	ri.Profile.ChainCluster = r.U8()
+	ri.Cluster = r.Int()
+	ri.FetchGroup = r.U64()
+	ri.CritSrc = CritSrc(r.Int())
+	ri.CritForwarded = r.Bool()
+	ri.CritProducerPC = r.U64()
+	ri.CritProducerSeq = r.U64()
+	ri.CritProducerCluster = r.Int()
+	ri.CritInterTrace = r.Bool()
+	ri.CritProducerProfile.Role = r.U8()
+	ri.CritProducerProfile.ChainCluster = r.U8()
+}
+
+// Snapshot serializes the chain-designation table. The FIFO order slice may
+// hold stale entries for keys that were taken and later re-designated (Set
+// appends a new position; the old one is skipped at eviction time), so the
+// encoding walks the order backwards keeping each live key's most recent —
+// i.e. current — position, then emits the live entries oldest-first.
+// Restoring replays them through Set, which rebuilds an equivalent table:
+// same contents and same future eviction order, with the stale positions
+// compacted away.
+func (c *ChainProfile) Snapshot(w *snap.Writer) {
+	w.Begin("chains")
+	w.Int(c.capLimit)
+	live := make([]uint64, 0, len(c.m))
+	seen := make(map[uint64]bool, len(c.m))
+	for i := len(c.order) - 1; i >= c.head; i-- {
+		pc := c.order[i]
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		if _, ok := c.m[pc]; ok {
+			live = append(live, pc)
+		}
+	}
+	// live is newest-first; emit oldest-first.
+	for i, j := 0, len(live)-1; i < j; i, j = i+1, j-1 {
+		live[i], live[j] = live[j], live[i]
+	}
+	if len(live) != len(c.m) {
+		w.Failf("chain profile: %d live FIFO entries but %d table entries", len(live), len(c.m))
+		return
+	}
+	w.Int(len(live))
+	for _, pc := range live {
+		p := c.m[pc]
+		w.U64(pc)
+		w.U8(p.Role)
+		w.U8(p.ChainCluster)
+	}
+	w.End()
+}
+
+// Restore rebuilds the chain-designation table from r.
+func (c *ChainProfile) Restore(r *snap.Reader) {
+	r.Begin("chains")
+	r.ExpectInt("chain table capacity", c.capLimit)
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > c.capLimit {
+		r.Failf("chain profile has %d entries (capacity %d)", n, c.capLimit)
+		return
+	}
+	c.m = make(map[uint64]trace.Profile, c.capLimit)
+	c.order = nil
+	c.head = 0
+	for i := 0; i < n; i++ {
+		pc := r.U64()
+		p := trace.Profile{Role: r.U8(), ChainCluster: r.U8()}
+		if r.Err() != nil {
+			return
+		}
+		c.Set(pc, p)
+	}
+	r.End()
+}
+
+// Snapshot serializes the fill unit's persistent state: the chain table,
+// the trace under construction, retired instructions pending assignment,
+// the per-PC migration history, and the fill statistics. The trace cache
+// the unit installs into is owned (and snapshotted) by the pipeline; the
+// geometry-derived cluster orders and all per-trace scratch buffers are
+// excluded and remain valid/rebuilt on restore.
+func (f *FillUnit) Snapshot(w *snap.Writer) {
+	w.Begin("fill")
+	w.Int(int(f.cfg.Strategy))
+	w.Int(f.cfg.Geom.Clusters)
+	w.Int(f.cfg.Geom.Width)
+	w.Int(f.cfg.Trace.MaxLen)
+	w.Bool(f.cfg.DisableChains)
+	_ = f.tc // wired at construction; serialized by the pipeline section
+	f.chains.Snapshot(w)
+	f.builder.Snapshot(w)
+	w.Int(len(f.pending))
+	for i := range f.pending {
+		f.pending[i].Snapshot(w)
+	}
+	pcs := make([]uint64, 0, len(f.lastCluster))
+	for pc := range f.lastCluster { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.Int(len(pcs))
+	for _, pc := range pcs {
+		w.U64(pc)
+		w.Int(f.lastCluster[pc])
+	}
+	// Geometry-derived orders, fixed at construction: not serialized.
+	_ = f.selfFirst
+	_ = f.midsTrunc
+	_ = f.natOrder
+	_ = f.midOrder
+	// Per-trace scratch, reused across traces: not serialized.
+	_ = f.assigned
+	_ = f.capacity
+	_ = f.prods
+	_ = f.consumers
+	_ = f.order
+	_ = f.nextSlot
+	_ = f.seqIdx
+	w.U64(f.S.TracesBuilt)
+	w.U64(f.S.InstsBuilt)
+	w.U64(f.S.OptionA)
+	w.U64(f.S.OptionB)
+	w.U64(f.S.OptionC)
+	w.U64(f.S.OptionD)
+	w.U64(f.S.OptionE)
+	w.U64(f.S.Skipped)
+	w.U64(f.S.LeadersCreated)
+	w.U64(f.S.FollowersCreated)
+	w.U64(f.S.Seen)
+	w.U64(f.S.Migrated)
+	w.U64(f.S.ChainSeen)
+	w.U64(f.S.ChainMigrated)
+	w.End()
+}
+
+// Restore rebuilds the fill unit's persistent state from r into a unit
+// constructed by NewFillUnit with the same configuration.
+func (f *FillUnit) Restore(r *snap.Reader) {
+	r.Begin("fill")
+	r.ExpectInt("fill strategy", int(f.cfg.Strategy))
+	r.ExpectInt("fill clusters", f.cfg.Geom.Clusters)
+	r.ExpectInt("fill cluster width", f.cfg.Geom.Width)
+	r.ExpectInt("fill trace max length", f.cfg.Trace.MaxLen)
+	if got := r.Bool(); r.Err() == nil && got != f.cfg.DisableChains {
+		r.Failf("fill DisableChains mismatch: snapshot has %v, this configuration has %v", got, f.cfg.DisableChains)
+	}
+	f.chains.Restore(r)
+	f.builder.Restore(r)
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 {
+		r.Failf("fill unit has negative pending count %d", n)
+		return
+	}
+	f.pending = f.pending[:0]
+	for i := 0; i < n; i++ {
+		var ri RetireInfo
+		ri.Restore(r)
+		if r.Err() != nil {
+			return
+		}
+		f.pending = append(f.pending, ri)
+	}
+	nc := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	f.lastCluster = make(map[uint64]int, nc)
+	for i := 0; i < nc; i++ {
+		pc := r.U64()
+		f.lastCluster[pc] = r.Int()
+	}
+	f.S.TracesBuilt = r.U64()
+	f.S.InstsBuilt = r.U64()
+	f.S.OptionA = r.U64()
+	f.S.OptionB = r.U64()
+	f.S.OptionC = r.U64()
+	f.S.OptionD = r.U64()
+	f.S.OptionE = r.U64()
+	f.S.Skipped = r.U64()
+	f.S.LeadersCreated = r.U64()
+	f.S.FollowersCreated = r.U64()
+	f.S.Seen = r.U64()
+	f.S.Migrated = r.U64()
+	f.S.ChainSeen = r.U64()
+	f.S.ChainMigrated = r.U64()
+	r.End()
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/snap"
+	"ctcp/internal/workload"
+)
+
+const (
+	ckptBudget = uint64(20_000)
+	ckptEvery  = uint64(5_000)
+)
+
+// segmentedReference runs gzip/base in memory with the same segment
+// schedule the checkpointed runner uses (pauses at every multiple of
+// ckptEvery), which is the bit-exact baseline a resumed run must match.
+func segmentedReference(t *testing.T) *pipeline.Stats {
+	t.Helper()
+	bm, _ := workload.ByName("gzip")
+	cfg := BaseConfig()
+	cfg.MaxInsts = 0
+	p := pipeline.New(&emu.LimitStream{S: emu.New(bm.ProgramFor(ckptBudget)), Budget: ckptBudget}, cfg)
+	for next := ckptEvery; ; next += ckptEvery {
+		if next > ckptBudget {
+			next = ckptBudget
+		}
+		if p.RunTo(next) || p.Consumed() >= ckptBudget {
+			break
+		}
+	}
+	return p.Finish()
+}
+
+// TestCheckpointedRunMatchesSegmented: a checkpointed run writes its
+// journal, removes its checkpoint, matches the in-memory segmented
+// reference exactly, and a second runner over the same directory returns
+// the identical stats straight from the journal.
+func TestCheckpointedRunMatchesSegmented(t *testing.T) {
+	dir := t.TempDir()
+	want := segmentedReference(t)
+	bm, _ := workload.ByName("gzip")
+
+	r := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery})
+	got, err := r.RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		wj, _ := json.Marshal(want)
+		gj, _ := json.Marshal(got)
+		t.Errorf("checkpointed run diverged from segmented reference\n want %s\n got  %s", wj, gj)
+	}
+
+	donePath := filepath.Join(dir, "gzip_base.done.json")
+	if _, err := os.Stat(donePath); err != nil {
+		t.Fatalf("stats journal missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gzip_base.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after completion (err=%v)", err)
+	}
+
+	// A fresh runner resumes from the journal without resimulating: hook
+	// the default path so any real simulation would be visible.
+	r2 := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery})
+	got2, err := r2.RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got2) {
+		t.Error("journal-resumed stats differ from the original run")
+	}
+}
+
+// TestCheckpointedResumeFromPlantedCheckpoint simulates an interrupted
+// sweep: the first segment's checkpoint is on disk (written through the
+// public Snapshot path) with no journal, and the runner must pick it up
+// and finish bit-identically to the uninterrupted segmented run.
+func TestCheckpointedResumeFromPlantedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	want := segmentedReference(t)
+	bm, _ := workload.ByName("gzip")
+
+	cfg := BaseConfig()
+	cfg.MaxInsts = 0
+	p := pipeline.New(&emu.LimitStream{S: emu.New(bm.ProgramFor(ckptBudget)), Budget: ckptBudget}, cfg)
+	if p.RunTo(ckptEvery) {
+		t.Fatal("stream exhausted during the first segment")
+	}
+	w := snap.NewWriter()
+	p.Snapshot(w)
+	if err := snap.WriteFile(filepath.Join(dir, "gzip_base.ckpt"), w); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery})
+	got, err := r.RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		wj, _ := json.Marshal(want)
+		gj, _ := json.Marshal(got)
+		t.Errorf("resumed run diverged from uninterrupted segmented run\n want %s\n got  %s", wj, gj)
+	}
+}
+
+// TestCheckpointedCorruptCheckpointRestarts: an undecodable checkpoint is
+// discarded and the run completes from scratch instead of failing.
+func TestCheckpointedCorruptCheckpointRestarts(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "gzip_base.ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := workload.ByName("gzip")
+	r := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery})
+	got, err := r.RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := segmentedReference(t); !reflect.DeepEqual(want, got) {
+		t.Error("restarted run diverged from segmented reference")
+	}
+}
+
+// TestSampledRunnerDeterministic: the sampled runner path is reproducible
+// and reports the estimate over the full budget.
+func TestSampledRunnerDeterministic(t *testing.T) {
+	bm, _ := workload.ByName("gzip")
+	opts := Options{Budget: ckptBudget, SampleInterval: 5_000, SampleDetail: 2_000, SampleWarmup: 1_000, SampleWorkers: 4}
+	a, err := NewRunner(opts).RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(opts).RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two sampled runner executions differ")
+	}
+	if a.Retired != ckptBudget {
+		t.Errorf("sampled stats cover %d insts, want %d", a.Retired, ckptBudget)
+	}
+	if a.Cycles == 0 {
+		t.Error("sampled estimate has zero cycles")
+	}
+}
+
+// TestSampledAndCheckpointedExclusive: configuring both modes is a per-run
+// error, not a silent precedence choice.
+func TestSampledAndCheckpointedExclusive(t *testing.T) {
+	bm, _ := workload.ByName("gzip")
+	r := NewRunner(Options{Budget: 1_000, SampleInterval: 500, CheckpointDir: t.TempDir()})
+	if _, err := r.RunErr(bm, "base", BaseConfig()); err == nil {
+		t.Fatal("mutually exclusive modes accepted")
+	}
+}

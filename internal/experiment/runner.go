@@ -5,7 +5,10 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -13,8 +16,11 @@ import (
 	"time"
 
 	"ctcp/internal/core"
+	"ctcp/internal/emu"
 	"ctcp/internal/isa"
 	"ctcp/internal/pipeline"
+	"ctcp/internal/sample"
+	"ctcp/internal/snap"
 	"ctcp/internal/workload"
 )
 
@@ -75,6 +81,28 @@ type Options struct {
 	// Progress, if non-nil, receives one event per runner action. It is
 	// called from simulation goroutines and must be safe for concurrent use.
 	Progress func(ProgressEvent)
+
+	// SampleInterval, when non-zero, switches every run to region-parallel
+	// sampled simulation (internal/sample) with checkpoints every this many
+	// instructions. SampleDetail, SampleWarmup and SampleWorkers pass
+	// through to sample.Options. Mutually exclusive with CheckpointDir.
+	SampleInterval uint64
+	SampleDetail   uint64
+	SampleWarmup   uint64
+	SampleWorkers  int
+
+	// CheckpointDir, when non-empty, makes every run segmented and
+	// resumable: the runner writes an on-disk checkpoint of the full
+	// simulator state every CheckpointEvery instructions (default
+	// Budget/4), and a journal of the final stats when a run completes. A
+	// rerun over the same directory resumes each key from its newest
+	// checkpoint — or returns instantly from the journal — so a killed
+	// sweep loses at most one segment per key. Resumed runs are bit-exact:
+	// the segment schedule is derived from the checkpoint spacing, so a
+	// resumed run retires the same instructions in the same cycles as an
+	// uninterrupted segmented run.
+	CheckpointDir   string
+	CheckpointEvery uint64
 }
 
 // RunnerStats is a point-in-time snapshot of a Runner's execution counters.
@@ -191,7 +219,7 @@ func (r *Runner) RunErr(bm workload.Benchmark, cfgKey string, cfg pipeline.Confi
 		// recovers panics (including from hooked run functions) into errors.
 		defer close(e.done)
 		start := time.Now()
-		e.stats, e.err = r.simulate(bm, cfg)
+		e.stats, e.err = r.simulate(key, bm, cfg)
 		e.wall = time.Since(start)
 	}()
 
@@ -212,8 +240,9 @@ func (r *Runner) RunErr(bm workload.Benchmark, cfgKey string, cfg pipeline.Confi
 
 // simulate executes one run, holding a semaphore slot only around the
 // cycle-level model: program generation is memoized and cheap, so it must
-// not occupy a simulation slot.
-func (r *Runner) simulate(bm workload.Benchmark, cfg pipeline.Config) (s *pipeline.Stats, err error) {
+// not occupy a simulation slot. The key names the run's checkpoint files
+// when checkpointing is enabled.
+func (r *Runner) simulate(key string, bm workload.Benchmark, cfg pipeline.Config) (s *pipeline.Stats, err error) {
 	defer func() {
 		// Safety net for panics escaping runFn itself (RunProgramErr already
 		// recovers model panics; this catches hooked or future run paths).
@@ -221,11 +250,121 @@ func (r *Runner) simulate(bm workload.Benchmark, cfg pipeline.Config) (s *pipeli
 			s, err = nil, &pipeline.SimError{Reason: fmt.Sprint(rec)}
 		}
 	}()
+	if r.opts.CheckpointDir != "" && r.opts.SampleInterval != 0 {
+		return nil, fmt.Errorf("experiment: sampled and checkpointed modes are mutually exclusive")
+	}
 	prog := bm.ProgramFor(r.opts.Budget)
-	cfg.MaxInsts = r.opts.Budget
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
-	return r.runFn(prog, cfg)
+	switch {
+	case r.opts.CheckpointDir != "":
+		return r.runCheckpointed(key, prog, cfg)
+	case r.opts.SampleInterval != 0:
+		return r.runSampled(prog, cfg)
+	default:
+		cfg.MaxInsts = r.opts.Budget
+		return r.runFn(prog, cfg)
+	}
+}
+
+// runSampled estimates the run with region-parallel sampled simulation.
+// The returned Stats carries the whole-run estimate in Cycles/Retired
+// (so IPC and speedup math work unchanged); the remaining counters sum
+// over the instructions simulated in detail only.
+func (r *Runner) runSampled(prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
+	res, err := sample.Run(prog, cfg, sample.Options{
+		Interval: r.opts.SampleInterval,
+		Detail:   r.opts.SampleDetail,
+		Warmup:   r.opts.SampleWarmup,
+		Workers:  r.opts.SampleWorkers,
+		MaxInsts: r.opts.Budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Stats
+	s.Cycles = int64(res.EstimatedCycles + 0.5)
+	s.Retired = res.TotalInsts
+	return &s, nil
+}
+
+// sanitizeKey maps a run key to a filesystem-safe checkpoint file stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// runCheckpointed executes one run as a sequence of RunTo segments,
+// persisting the full simulator state after each one. A completed run
+// leaves a stats journal and removes its checkpoint; a rerun finds the
+// journal and returns instantly. A killed run leaves its newest checkpoint
+// behind, and the rerun resumes from it bit-exactly. A checkpoint that
+// fails to decode (truncated write, version skew, config drift) is
+// discarded and the run restarts from scratch rather than failing.
+func (r *Runner) runCheckpointed(key string, prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
+	stem := filepath.Join(r.opts.CheckpointDir, sanitizeKey(key))
+	ckptPath := stem + ".ckpt"
+	donePath := stem + ".done.json"
+
+	if buf, err := os.ReadFile(donePath); err == nil {
+		var s pipeline.Stats
+		if json.Unmarshal(buf, &s) == nil {
+			return &s, nil
+		}
+		// Corrupt journal: fall through and resimulate.
+	}
+
+	budget := r.opts.Budget
+	every := r.opts.CheckpointEvery
+	if every == 0 {
+		every = budget / 4
+	}
+	if every == 0 {
+		every = 1
+	}
+	cfg.MaxInsts = 0 // the budget lives in the (snapshotable) LimitStream
+	newPipe := func() *pipeline.Pipeline {
+		return pipeline.New(&emu.LimitStream{S: emu.New(prog), Budget: budget}, cfg)
+	}
+	p := newPipe()
+	if rd, err := snap.ReadFile(ckptPath); err == nil {
+		p.Restore(rd)
+		if err := rd.Close(); err != nil {
+			// Unusable checkpoint: restart clean.
+			p = newPipe()
+		}
+	}
+	for {
+		next := (p.Consumed()/every + 1) * every
+		if next > budget {
+			next = budget
+		}
+		if p.RunTo(next) || p.Consumed() >= budget {
+			break
+		}
+		w := snap.NewWriter()
+		p.Snapshot(w)
+		if err := snap.WriteFile(ckptPath, w); err != nil {
+			return nil, fmt.Errorf("writing checkpoint %s: %w", ckptPath, err)
+		}
+	}
+	s := p.Finish()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(donePath, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("writing stats journal %s: %w", donePath, err)
+	}
+	os.Remove(ckptPath) // superseded by the journal
+	return s, nil
 }
 
 // Prefetch runs the given benchmark/config pairs concurrently so later

@@ -1,0 +1,25 @@
+package isa
+
+import "ctcp/internal/snap"
+
+// Snapshot serializes the decoded instruction. Inst is a leaf value: it
+// writes raw fields with no section of its own, relying on the enclosing
+// component section for checksumming.
+func (i *Inst) Snapshot(w *snap.Writer) {
+	w.U8(uint8(i.Op))
+	w.U8(uint8(i.Ra))
+	w.U8(uint8(i.Rb))
+	w.U8(uint8(i.Rc))
+	w.I64(i.Imm)
+	w.Bool(i.UseImm)
+}
+
+// Restore rebuilds the instruction from r.
+func (i *Inst) Restore(r *snap.Reader) {
+	i.Op = Op(r.U8())
+	i.Ra = Reg(r.U8())
+	i.Rb = Reg(r.U8())
+	i.Rc = Reg(r.U8())
+	i.Imm = r.I64()
+	i.UseImm = r.Bool()
+}

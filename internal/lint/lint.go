@@ -142,6 +142,7 @@ func All() []*Analyzer {
 		NonDet,
 		FloatEq,
 		ConfigValidate,
+		SnapComplete,
 		WriteCheck,
 	}
 }

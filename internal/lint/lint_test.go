@@ -55,6 +55,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"floateq", "ctcp/internal/stats", FloatEq},
 		{"configvalidate", "ctcp/internal/pipeline", ConfigValidate},
 		{"configmissing", "ctcp/internal/pipeline", ConfigValidate},
+		{"snapcomplete", "ctcp/internal/fixture", SnapComplete},
 		{"writecheck", "ctcp/cmd/fixture", WriteCheck},
 	}
 	for _, tc := range cases {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -159,7 +160,10 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 	return &Package{Path: importPath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// goSources lists the buildable non-test .go files in dir, sorted.
+// goSources lists the buildable non-test .go files in dir, sorted. Build
+// constraints are honored with the default build context (so of a
+// `//go:build race` / `//go:build !race` pair only the non-race file loads,
+// matching what an unistrumented `go build` would compile).
 func goSources(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -170,6 +174,9 @@ func goSources(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -178,9 +178,9 @@ func (t *pcTable) slow(pc uint64) *pcStats {
 // hits the free list: records recycle through reclaim, so the pool only
 // grows while the in-flight window is still ramping up.
 func (p *Pipeline) allocInflight() *inflight {
-	if n := len(p.freeList); n > 0 {
-		inf := p.freeList[n-1]
-		p.freeList = p.freeList[:n-1]
+	if n := len(p.scr.freeList); n > 0 {
+		inf := p.scr.freeList[n-1]
+		p.scr.freeList = p.scr.freeList[:n-1]
 		*inf = inflight{}
 		return inf
 	}
@@ -204,11 +204,11 @@ func newRecord() *inflight {
 // references) nothing can still point at X. pendingRedirect is the one
 // non-inflight pointer and blocks the queue head until the redirect clears.
 func (p *Pipeline) reclaim() {
-	for p.graveyard.len() > 0 {
-		inf := p.graveyard.front()
+	for p.scr.graveyard.len() > 0 {
+		inf := p.scr.graveyard.front()
 		if inf.freeAfter > p.S.Retired || inf == p.pendingRedirect {
 			return
 		}
-		p.freeList = append(p.freeList, p.graveyard.popFront())
+		p.scr.freeList = append(p.scr.freeList, p.scr.graveyard.popFront())
 	}
 }

@@ -100,6 +100,28 @@ type Pipeline struct {
 
 	lastRetireCycle int64
 
+	// consumed counts committed records pulled from the stream, including
+	// the one buffered in peekedRec. fetchLimit, when non-zero, pauses
+	// fetch once consumed reaches it: the mechanism behind segmented RunTo
+	// execution and drained-boundary snapshots.
+	consumed   uint64
+	fetchLimit uint64
+
+	// scr groups the transient scratch state — object pools and per-cycle
+	// buffers — that checkpointing deliberately excludes: a snapshot never
+	// serializes it, and a restored pipeline starts with the empty scratch
+	// its constructor built.
+	scr scratch
+
+	S Stats
+}
+
+// scratch holds the pipeline's pooled and per-cycle transient state,
+// segregated from the architectural and profile state that Snapshot must
+// capture. At a drained boundary the pools hold only recycled storage and
+// the per-cycle buffers are stale, so none of it carries information
+// forward.
+type scratch struct {
 	// Object pool: freeList holds recycled records, graveyard holds retired
 	// records whose references may still be live.
 	freeList  []*inflight
@@ -111,8 +133,6 @@ type Pipeline struct {
 	writeUsed     []int
 	clusterBudget []int
 	fetchBuf      []*inflight
-
-	S Stats
 }
 
 // New builds a pipeline reading committed instructions from stream. The
@@ -150,9 +170,9 @@ func New(stream emu.Stream, cfg Config) *Pipeline {
 		p.rsCount[c] = make([]int, cluster.NumRSKinds)
 		p.fuFree[c] = make([]int64, cluster.NumFUKinds)
 	}
-	p.writeUsed = make([]int, g.Clusters*int(cluster.NumRSKinds))
-	p.clusterBudget = make([]int, g.Clusters)
-	p.fetchBuf = make([]*inflight, 0, cfg.FetchWidth)
+	p.scr.writeUsed = make([]int, g.Clusters*int(cluster.NumRSKinds))
+	p.scr.clusterBudget = make([]int, g.Clusters)
+	p.scr.fetchBuf = make([]*inflight, 0, cfg.FetchWidth)
 	return p
 }
 
@@ -165,10 +185,18 @@ func (p *Pipeline) Run() *Stats {
 	if p.cfg.MaxInsts != 0 {
 		p.stream = &emu.LimitStream{S: p.stream, Budget: p.cfg.MaxInsts}
 	}
-	for !p.done() {
+	p.runLoop((*Pipeline).done)
+	return p.Finish()
+}
+
+// runLoop advances the model one cycle at a time until stop reports true.
+// Run stops at done (stream exhausted, machine empty); RunTo stops at
+// drained (fetch paused at the segment limit, machine empty).
+func (p *Pipeline) runLoop(stop func(*Pipeline) bool) {
+	for !stop(p) {
 		worked := p.cycle()
 		if worked && len(p.S.PipeTrace) < p.cfg.TraceCycles {
-			p.S.PipeTrace = append(p.S.PipeTrace, p.snapshot())
+			p.S.PipeTrace = append(p.S.PipeTrace, p.debugDump())
 		}
 		if worked {
 			p.now++
@@ -181,6 +209,32 @@ func (p *Pipeline) Run() *Stats {
 				p.now, p.rob.len(), p.fetchQ.len())})
 		}
 	}
+}
+
+// RunTo advances the model until the total number of committed records
+// consumed from the stream reaches limit and the in-flight instructions
+// drain (limit 0 removes the pause and runs to stream exhaustion, like
+// Run but without flushing the fill unit). It reports whether the stream
+// is exhausted. Between RunTo calls the pipeline sits at a drained trace
+// boundary — ROB, fetch and dispatch queues empty — which is the only
+// kind of point Snapshot accepts. Limits are cumulative across calls:
+// RunTo(k) then RunTo(2k) simulates 2k records in two segments. A
+// segmented run is deterministic for a given segment schedule, and
+// continuing after a pause is bit-identical whether the same Pipeline
+// value keeps going or a Snapshot of it is Restored elsewhere first.
+func (p *Pipeline) RunTo(limit uint64) bool {
+	p.fetchLimit = limit
+	p.runLoop((*Pipeline).drained)
+	if !p.streamDone {
+		p.pauseDrain()
+	}
+	return p.streamDone
+}
+
+// Finish completes a segmented run: it flushes the fill unit's partial
+// trace and returns the collected statistics. Run calls it internally;
+// RunTo callers invoke it once after the last segment.
+func (p *Pipeline) Finish() *Stats {
 	p.fill.Flush()
 	p.S.Cycles = p.now
 	p.S.BP = p.bp.S
@@ -189,8 +243,48 @@ func (p *Pipeline) Run() *Stats {
 	return &p.S
 }
 
+// Consumed returns the number of committed records pulled from the stream
+// so far (RunTo limits are expressed on this counter).
+func (p *Pipeline) Consumed() uint64 { return p.consumed }
+
+// CurrentCycle returns the simulated cycle the model has reached; between
+// RunTo segments it is the cycle count Finish would report. Sampled
+// simulation uses it to split a detailed window into an unmeasured warmup
+// prefix and a measured remainder.
+func (p *Pipeline) CurrentCycle() int64 { return p.now }
+
+// Retired returns the number of instructions retired so far.
+func (p *Pipeline) Retired() uint64 { return p.S.Retired }
+
 func (p *Pipeline) done() bool {
 	return p.streamDone && p.rob.len() == 0 && p.fetchQ.len() == 0
+}
+
+// fetchPaused reports whether fetch is paused at a RunTo segment limit.
+func (p *Pipeline) fetchPaused() bool {
+	return p.fetchLimit != 0 && p.consumed >= p.fetchLimit
+}
+
+// drained is the segmented-run stop condition: no further record can enter
+// the machine (stream exhausted, or fetch paused with no buffered peek)
+// and everything in flight has retired.
+func (p *Pipeline) drained() bool {
+	return (p.streamDone || p.fetchPaused()) && !p.havePeek &&
+		p.rob.len() == 0 && p.fetchQ.len() == 0
+}
+
+// pauseDrain normalizes state at a paused segment boundary so that the
+// continuation proceeds identically whether this Pipeline value keeps
+// running or a snapshot of it is restored into a fresh one: the pending
+// fetch redirect — whose instruction has necessarily retired by now — is
+// resolved exactly as the next cycle would have resolved it, and
+// fully-retired records are reclaimed into the pool (at a drained
+// boundary every graveyard record is reclaimable, so the pool state is
+// equivalent to the restored pipeline's empty pool: recycled records are
+// zeroed on allocation either way).
+func (p *Pipeline) pauseDrain() {
+	p.clearRedirect()
+	p.reclaim()
 }
 
 // cycle runs one machine cycle; it reports whether any state changed (used
@@ -250,7 +344,11 @@ func (p *Pipeline) nextEvent() int64 {
 	if len(p.steerQ) > 0 {
 		consider(p.steerQ[0].dispatchReady)
 	}
-	if p.pendingRedirect == nil && !p.streamDone {
+	if p.pendingRedirect == nil && !p.streamDone && (p.havePeek || !p.fetchPaused()) {
+		// When fetch is paused with nothing buffered, no fetch event can
+		// fire until the next RunTo raises the limit; considering nextFetch
+		// here would crawl the idle fast-forward one cycle at a time into
+		// the retirement watchdog.
 		consider(p.nextFetch)
 	}
 	if best == int64(1<<62) {
@@ -268,7 +366,9 @@ func (p *Pipeline) peek() (*emu.Committed, bool) {
 	if p.havePeek {
 		return &p.peekedRec, true
 	}
-	if p.streamDone {
+	if p.streamDone || p.fetchPaused() {
+		// A paused fetch is not stream exhaustion: the next RunTo segment
+		// resumes pulling records exactly where this one stopped.
 		return nil, false
 	}
 	rec, ok := p.stream.Next()
@@ -276,6 +376,7 @@ func (p *Pipeline) peek() (*emu.Committed, bool) {
 		p.streamDone = true
 		return nil, false
 	}
+	p.consumed++
 	p.peekedRec = rec
 	p.havePeek = true
 	return &p.peekedRec, true
@@ -306,7 +407,7 @@ func (p *Pipeline) fetch() bool {
 	group := p.groupSeq
 	p.groupSeq++
 	fetchLat := int64(p.cfg.FetchStages)
-	consumed := p.fetchBuf[:0]
+	consumed := p.scr.fetchBuf[:0]
 
 	if tr := p.tc.Lookup(pc, p.predictCond); tr != nil {
 		p.S.TCGroups++
@@ -349,7 +450,7 @@ func (p *Pipeline) fetch() bool {
 		}
 		p.S.ICGroupInsts += uint64(len(consumed))
 	}
-	p.fetchBuf = consumed[:0]
+	p.scr.fetchBuf = consumed[:0]
 	if len(consumed) == 0 {
 		// Defensive: should not happen (the first record always matches).
 		p.nextFetch = p.now + 1
@@ -516,7 +617,7 @@ func (p *Pipeline) rename() bool {
 
 // wu indexes the flattened per-cycle [cluster][station] write-port scratch.
 func (p *Pipeline) wu(c int, st cluster.RSKind) *int {
-	return &p.writeUsed[c*int(cluster.NumRSKinds)+int(st)]
+	return &p.scr.writeUsed[c*int(cluster.NumRSKinds)+int(st)]
 }
 
 // dispatch moves renamed instructions into reservation stations, applying
@@ -525,11 +626,11 @@ func (p *Pipeline) wu(c int, st cluster.RSKind) *int {
 //ctcp:hotpath
 func (p *Pipeline) dispatch() bool {
 	worked := false
-	clear(p.writeUsed)
+	clear(p.scr.writeUsed)
 	if p.cfg.Strategy.SteersAtIssue() {
 		budget := p.geom.TotalWidth()
-		for c := range p.clusterBudget {
-			p.clusterBudget[c] = p.geom.Width
+		for c := range p.scr.clusterBudget {
+			p.scr.clusterBudget[c] = p.geom.Width
 		}
 		// Scan the steering window in age order; an instruction whose target
 		// cluster is saturated does not block younger instructions bound for
@@ -546,7 +647,7 @@ func (p *Pipeline) dispatch() bool {
 			if c >= 0 {
 				inf.cluster = c
 				if p.insertRS(inf, c) {
-					p.clusterBudget[c]--
+					p.scr.clusterBudget[c]--
 					budget--
 					worked = true
 					continue
@@ -585,7 +686,7 @@ func (p *Pipeline) dispatch() bool {
 // per cluster per cycle.
 func (p *Pipeline) steerTarget(inf *inflight) int {
 	usable := func(c int) bool {
-		if c < 0 || c >= p.geom.Clusters || p.clusterBudget[c] <= 0 {
+		if c < 0 || c >= p.geom.Clusters || p.scr.clusterBudget[c] <= 0 {
 			return false
 		}
 		for _, st := range cluster.StationsFor(inf.rec.Inst.Op.Class()) {
@@ -1002,7 +1103,7 @@ func (p *Pipeline) retire() bool {
 			p.lastStore = nil
 		}
 		inf.freeAfter = p.renamed
-		p.graveyard.push(inf)
+		p.scr.graveyard.push(inf)
 		p.lastRetireCycle = p.now
 		budget--
 		worked = true
@@ -1033,8 +1134,10 @@ func (p *Pipeline) retireInfo(inf *inflight) core.RetireInfo {
 	return info
 }
 
-// snapshot renders one cycle's occupancy for Config.TraceCycles.
-func (p *Pipeline) snapshot() string {
+// debugDump renders one cycle's occupancy for Config.TraceCycles. (It was
+// named snapshot before the Snapshot/Restore checkpointing contract took
+// that name.)
+func (p *Pipeline) debugDump() string {
 	var sb []byte
 	sb = fmt.Appendf(sb, "cyc %6d | fetchQ %2d | rob %3d | rs", p.now, p.fetchQ.len(), p.rob.len())
 	for c := 0; c < p.geom.Clusters; c++ {

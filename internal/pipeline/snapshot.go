@@ -1,0 +1,397 @@
+package pipeline
+
+import (
+	"sort"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+	"ctcp/internal/snap"
+)
+
+// snapReady reports why the pipeline is not at a snapshotable boundary, or
+// "" when it is. Snapshot and Restore both demand an empty machine: nothing
+// buffered, nothing in flight, no pending redirect. RunTo leaves the
+// pipeline exactly here between segments (see pauseDrain); Snapshot at any
+// other point would have to serialize the whole out-of-order window, which
+// the drained-boundary contract deliberately avoids.
+func (p *Pipeline) snapReady() string {
+	switch {
+	case p.havePeek:
+		return "a committed record is buffered"
+	case p.pendingRedirect != nil:
+		return "a fetch redirect is pending"
+	case p.rob.len() != 0:
+		return "the ROB is not empty"
+	case p.fetchQ.len() != 0:
+		return "the fetch queue is not empty"
+	case p.lastStore != nil:
+		return "a store is still tracked for forwarding"
+	case p.loadsInROB != 0:
+		return "loads are still in flight"
+	}
+	for i := range p.steerQ {
+		if p.steerQ[i] != nil {
+			return "the steering queue is not empty"
+		}
+	}
+	for c := range p.dispatchQ {
+		if p.dispatchQ[c].len() != 0 {
+			return "a dispatch queue is not empty"
+		}
+	}
+	for c := range p.rsCount {
+		for s := range p.rsCount[c] {
+			if p.rsCount[c][s] != 0 {
+				return "a reservation station is not empty"
+			}
+		}
+	}
+	for c := range p.rsEntries {
+		for s := range p.rsEntries[c] {
+			if p.rsEntries[c][s] != nil {
+				return "a reservation station entry is live"
+			}
+		}
+	}
+	for r := range p.renameMap {
+		if p.renameMap[r] != nil {
+			return "the rename map has live producers"
+		}
+	}
+	return ""
+}
+
+// Snapshot serializes the pipeline and every component it owns. It is only
+// legal at a drained trace boundary — the state RunTo leaves between
+// segments — where the out-of-order window is empty and all machine state
+// lives in the timing tables, the profile structures, and the components.
+// Restoring the encoding into a freshly constructed Pipeline with the same
+// configuration and an equivalent stream continues bit-identically to this
+// pipeline running on.
+func (p *Pipeline) Snapshot(w *snap.Writer) {
+	if why := p.snapReady(); why != "" {
+		w.Failf("pipeline snapshot outside a drained boundary: %s", why)
+		return
+	}
+	w.Begin("pipeline")
+	// Configuration fingerprint. The full Config is not serialized (it can
+	// carry a RetireHook closure); these five knobs determine every table
+	// geometry the sections below assume.
+	w.Int(int(p.cfg.Strategy))
+	w.Int(p.cfg.Geom.Clusters)
+	w.Int(p.cfg.Geom.Width)
+	w.Int(p.cfg.FetchWidth)
+	w.Int(p.cfg.ROBSize)
+	_ = p.geom // copy of cfg.Geom made by New
+
+	w.I64(p.now)
+	w.I64(p.nextFetch)
+	w.I64(p.btbBubble)
+	w.I64(p.lastRetireCycle)
+	w.I64(p.lastDrain)
+	w.U64(p.groupSeq)
+	w.U64(p.consumed)
+	w.U64(p.fetchLimit)
+	w.U64(p.renamed)
+	w.Bool(p.streamDone)
+
+	w.I64Slice(p.sbDrain)
+	w.Int(len(p.fuFree))
+	for c := range p.fuFree {
+		w.I64Slice(p.fuFree[c])
+	}
+	p.ports.snapshot(w, p.now)
+	p.pcHist.snapshot(w)
+	snapshotStats(w, &p.S)
+
+	// The buffered peek is empty at a drained boundary (asserted above);
+	// predictCond is p.bp.PredictCond rebound by New; scr is pooled and
+	// per-cycle scratch that a restored pipeline rebuilds empty.
+	_ = p.peekedRec
+	_ = p.predictCond
+	_ = p.scr
+
+	if cs, ok := p.stream.(snap.Checkpointable); ok {
+		cs.Snapshot(w)
+	} else {
+		w.Failf("pipeline stream %T is not snap.Checkpointable", p.stream)
+	}
+	p.bp.Snapshot(w)
+	p.icache.Snapshot(w)
+	p.mem.Snapshot(w)
+	p.tc.Snapshot(w)
+	p.fill.Snapshot(w)
+	w.End()
+}
+
+// Restore rebuilds the pipeline from r. The receiver must be freshly
+// constructed by New with the same configuration the snapshot was taken
+// under and a stream of the same concrete type (its position is part of
+// the encoding). After Restore the pipeline continues with RunTo / Finish
+// exactly as the snapshotted one would have.
+func (p *Pipeline) Restore(r *snap.Reader) {
+	if why := p.snapReady(); why != "" {
+		r.Failf("pipeline restore target is not freshly constructed: %s", why)
+		return
+	}
+	r.Begin("pipeline")
+	r.ExpectInt("pipeline strategy", int(p.cfg.Strategy))
+	r.ExpectInt("pipeline clusters", p.cfg.Geom.Clusters)
+	r.ExpectInt("pipeline cluster width", p.cfg.Geom.Width)
+	r.ExpectInt("pipeline fetch width", p.cfg.FetchWidth)
+	r.ExpectInt("pipeline ROB size", p.cfg.ROBSize)
+
+	p.now = r.I64()
+	p.nextFetch = r.I64()
+	p.btbBubble = r.I64()
+	p.lastRetireCycle = r.I64()
+	p.lastDrain = r.I64()
+	p.groupSeq = r.U64()
+	p.consumed = r.U64()
+	p.fetchLimit = r.U64()
+	p.renamed = r.U64()
+	p.streamDone = r.Bool()
+
+	p.sbDrain = r.I64Slice()
+	nc := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if nc != len(p.fuFree) {
+		r.Failf("pipeline snapshot has %d clusters of FUs, this configuration has %d", nc, len(p.fuFree))
+		return
+	}
+	for c := range p.fuFree {
+		row := r.I64Slice()
+		if r.Err() != nil {
+			return
+		}
+		if len(row) != len(p.fuFree[c]) {
+			r.Failf("pipeline cluster %d has %d FUs in the snapshot, %d in this configuration", c, len(row), len(p.fuFree[c]))
+			return
+		}
+		copy(p.fuFree[c], row)
+	}
+	p.ports.restore(r)
+	p.pcHist.restore(r)
+	restoreStats(r, &p.S)
+
+	p.havePeek = false
+	p.peekedRec = emu.Committed{}
+	p.pendingRedirect = nil
+
+	if cs, ok := p.stream.(snap.Checkpointable); ok {
+		cs.Restore(r)
+	} else {
+		r.Failf("pipeline stream %T is not snap.Checkpointable", p.stream)
+	}
+	p.bp.Restore(r)
+	p.icache.Restore(r)
+	p.mem.Restore(r)
+	p.tc.Restore(r)
+	p.fill.Restore(r)
+	r.End()
+}
+
+// snapshot emits the port schedule's live bookings: ring slots whose
+// absolute cycle is current (>= now) and booked. Lapped slots read as empty
+// to book() and are dropped; emission is in ascending cycle order.
+func (ps *portSched) snapshot(w *snap.Writer, now int64) {
+	type booking struct {
+		cycle int64
+		used  int32
+	}
+	var live []booking
+	for i := range ps.cycle {
+		if ps.cycle[i] >= now && ps.used[i] > 0 {
+			live = append(live, booking{ps.cycle[i], ps.used[i]})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].cycle < live[j].cycle })
+	w.Int(len(live))
+	for _, b := range live {
+		w.I64(b.cycle)
+		w.Int(int(b.used))
+	}
+}
+
+// restore resets the ring and replays the live bookings.
+func (ps *portSched) restore(r *snap.Reader) {
+	for i := range ps.cycle {
+		ps.cycle[i] = -1
+		ps.used[i] = 0
+	}
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > portWindow {
+		r.Failf("port schedule has %d bookings (window %d)", n, portWindow)
+		return
+	}
+	for i := 0; i < n; i++ {
+		cycle := r.I64()
+		used := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		idx := cycle & (portWindow - 1)
+		ps.cycle[idx] = cycle
+		ps.used[idx] = int32(used)
+	}
+}
+
+// snapshot emits the per-static-PC producer history: every non-zero entry
+// of the dense table (keyed back to its PC) followed by the sorted
+// overflow entries. The dense table's base/length are layout, not state —
+// restore regrows an equivalent table through statsFor.
+func (t *pcTable) snapshot(w *snap.Writer) {
+	zero := pcStats{}
+	var pcs []uint64
+	for i := range t.tab {
+		if t.tab[i] != zero {
+			pcs = append(pcs, (t.base+uint64(i))*isa.PCStride)
+		}
+	}
+	for pc, e := range t.overflow { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+		if *e != zero {
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.Int(len(pcs))
+	for _, pc := range pcs {
+		e := t.statsFor(pc, isa.PCStride)
+		w.U64(pc)
+		w.U64(e.lastProd[0])
+		w.U64(e.lastProd[1])
+		w.U64(e.lastCritInter[0])
+		w.U64(e.lastCritInter[1])
+	}
+}
+
+// restore replays the entries through statsFor into the (fresh) table.
+func (t *pcTable) restore(r *snap.Reader) {
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 {
+		r.Failf("pc table has negative entry count %d", n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		pc := r.U64()
+		var e pcStats
+		e.lastProd[0] = r.U64()
+		e.lastProd[1] = r.U64()
+		e.lastCritInter[0] = r.U64()
+		e.lastCritInter[1] = r.U64()
+		if r.Err() != nil {
+			return
+		}
+		*t.statsFor(pc, isa.PCStride) = e
+	}
+}
+
+// snapshotStats serializes the pipeline-local statistics. The BP/TC/Fill
+// sub-structures are excluded: they are copies Finish takes from the live
+// components (each serialized in its own section), and a segmented run
+// only calls Finish once, after the last segment.
+func snapshotStats(w *snap.Writer, s *Stats) {
+	w.I64(s.Cycles)
+	w.U64(s.Retired)
+	w.U64(s.RetiredFromTC)
+	w.U64(s.TCGroups)
+	w.U64(s.TCGroupInsts)
+	w.U64(s.ICGroups)
+	w.U64(s.ICGroupInsts)
+	w.U64(s.ICacheMisses)
+	w.U64(s.FetchRedirects)
+	w.U64(s.WithInputs)
+	w.U64(s.CritFromRF)
+	w.U64(s.CritFromRS1)
+	w.U64(s.CritFromRS2)
+	w.U64(s.CritForwarded)
+	w.U64(s.CritInterTrace)
+	w.U64(s.CritIntraCluster)
+	w.U64(s.CritDistSum)
+	w.U64(s.FwdInputs)
+	w.U64(s.FwdIntraCluster)
+	w.U64(s.FwdDistSum)
+	w.U64(s.RS1Seen)
+	w.U64(s.RS1Repeat)
+	w.U64(s.RS2Seen)
+	w.U64(s.RS2Repeat)
+	w.U64(s.CritRS1InterSeen)
+	w.U64(s.CritRS1InterRep)
+	w.U64(s.CritRS2InterSeen)
+	w.U64(s.CritRS2InterRep)
+	w.U64(s.CondBranches)
+	w.U64(s.Mispredicts)
+	w.U64(s.IndirectMiss)
+	w.U64(s.BTBBubbles)
+	w.U64(s.Loads)
+	w.U64(s.Stores)
+	w.U64(s.StoreForwards)
+	w.U64(s.SBFullStalls)
+	w.U64(s.LoadQFullStalls)
+	w.U64(s.ROBFullStalls)
+	w.Int(len(s.PipeTrace))
+	for _, line := range s.PipeTrace {
+		w.String(line)
+	}
+}
+
+func restoreStats(r *snap.Reader, s *Stats) {
+	s.Cycles = r.I64()
+	s.Retired = r.U64()
+	s.RetiredFromTC = r.U64()
+	s.TCGroups = r.U64()
+	s.TCGroupInsts = r.U64()
+	s.ICGroups = r.U64()
+	s.ICGroupInsts = r.U64()
+	s.ICacheMisses = r.U64()
+	s.FetchRedirects = r.U64()
+	s.WithInputs = r.U64()
+	s.CritFromRF = r.U64()
+	s.CritFromRS1 = r.U64()
+	s.CritFromRS2 = r.U64()
+	s.CritForwarded = r.U64()
+	s.CritInterTrace = r.U64()
+	s.CritIntraCluster = r.U64()
+	s.CritDistSum = r.U64()
+	s.FwdInputs = r.U64()
+	s.FwdIntraCluster = r.U64()
+	s.FwdDistSum = r.U64()
+	s.RS1Seen = r.U64()
+	s.RS1Repeat = r.U64()
+	s.RS2Seen = r.U64()
+	s.RS2Repeat = r.U64()
+	s.CritRS1InterSeen = r.U64()
+	s.CritRS1InterRep = r.U64()
+	s.CritRS2InterSeen = r.U64()
+	s.CritRS2InterRep = r.U64()
+	s.CondBranches = r.U64()
+	s.Mispredicts = r.U64()
+	s.IndirectMiss = r.U64()
+	s.BTBBubbles = r.U64()
+	s.Loads = r.U64()
+	s.Stores = r.U64()
+	s.StoreForwards = r.U64()
+	s.SBFullStalls = r.U64()
+	s.LoadQFullStalls = r.U64()
+	s.ROBFullStalls = r.U64()
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 {
+		r.Failf("pipe trace has negative length %d", n)
+		return
+	}
+	s.PipeTrace = nil
+	for i := 0; i < n; i++ {
+		s.PipeTrace = append(s.PipeTrace, r.String())
+	}
+}

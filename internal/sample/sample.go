@@ -1,0 +1,262 @@
+// Package sample implements region-parallel sampled simulation: a fast
+// functional-only pass over the program drops architectural checkpoints at
+// fixed instruction intervals, then a bounded worker pool simulates a
+// detailed window from each checkpoint in parallel on the cycle model, and
+// the per-region measurements merge into a whole-program estimate.
+//
+// The speed comes from two directions at once. Fast-forwarding runs the
+// emulator alone — orders of magnitude cheaper per instruction than the
+// cycle model — and the detailed windows, which dominate the remaining
+// cost, are embarrassingly parallel because each starts from its own
+// checkpoint. Each window begins with cold microarchitectural state
+// (empty predictor, caches, and trace cache), so the estimate carries the
+// usual cold-start bias of checkpoint sampling; shorter intervals and
+// longer windows shrink it. The merged result is deterministic: region
+// order is fixed by the schedule, not by worker completion order.
+package sample
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/snap"
+)
+
+// Options configures a sampled run.
+type Options struct {
+	// Interval is the spacing, in committed instructions, between region
+	// starts. Required.
+	Interval uint64
+	// Detail is the number of instructions simulated in detail from each
+	// region start (0 means the whole interval; values above Interval are
+	// clamped to it). When Detail < Interval the measured cycles are scaled
+	// up to cover the skipped remainder of the region.
+	Detail uint64
+	// Warmup is the number of instructions at the head of each detailed
+	// window that only warm the cold microarchitectural state (caches,
+	// predictor, trace cache): they are simulated in detail but excluded
+	// from the cycle measurement the estimate scales up. Values that would
+	// leave no measured instructions are clamped to half the window.
+	// Region 0 is never warmed: its checkpoint is the program entry, where
+	// cold microarchitectural state is exact, and measuring that region
+	// cold is what lets the estimate reproduce the real run's one-time
+	// warm-up ramp instead of averaging it away.
+	Warmup uint64
+	// Workers bounds the detailed-simulation pool (0 means GOMAXPROCS).
+	Workers int
+	// MaxInsts is the total instruction budget to cover. Required.
+	MaxInsts uint64
+}
+
+// Region is one detailed window's measurement.
+type Region struct {
+	Index      int
+	StartInst  uint64 // committed instructions before the window
+	SpanInsts  uint64 // instructions the region represents
+	WarmInsts  uint64 // warmup instructions simulated but not measured
+	WarmCycles int64
+	Insts      uint64 // measured instructions simulated in detail
+	Cycles     int64  // measured detailed-simulation cycles
+	EstCycles  float64
+}
+
+// IPC returns the region's detailed instructions per cycle.
+func (r Region) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Result is the merged whole-program estimate.
+type Result struct {
+	Regions         []Region
+	TotalInsts      uint64
+	DetailedInsts   uint64
+	DetailedCycles  int64
+	EstimatedCycles float64
+	// Stats sums every counter across the detailed windows; it covers only
+	// the instructions simulated in detail.
+	Stats pipeline.Stats
+}
+
+// IPC returns the sampled estimate of whole-program IPC.
+func (res *Result) IPC() float64 {
+	if res.EstimatedCycles == 0 {
+		return 0
+	}
+	return float64(res.TotalInsts) / res.EstimatedCycles
+}
+
+// Run performs a sampled simulation of prog under cfg.
+func Run(prog *isa.Program, cfg pipeline.Config, opts Options) (*Result, error) {
+	if opts.Interval == 0 {
+		return nil, fmt.Errorf("sample: Interval must be positive")
+	}
+	if opts.MaxInsts == 0 {
+		return nil, fmt.Errorf("sample: MaxInsts must be positive")
+	}
+	detail := opts.Detail
+	if detail == 0 || detail > opts.Interval {
+		detail = opts.Interval
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.MaxInsts = 0 // budgets are per-region LimitStreams, not global
+
+	// Forward pass: the functional emulator alone, snapshotting the
+	// architectural state at each region start.
+	type regionStart struct {
+		start uint64
+		span  uint64
+		ckpt  []byte
+	}
+	var starts []regionStart
+	m := emu.New(prog)
+	var executed uint64
+	for executed < opts.MaxInsts {
+		span := opts.Interval
+		if rest := opts.MaxInsts - executed; rest < span {
+			span = rest
+		}
+		w := snap.NewWriter()
+		m.Snapshot(w)
+		ckpt, err := w.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("sample: checkpoint at inst %d: %w", executed, err)
+		}
+		starts = append(starts, regionStart{start: executed, span: span, ckpt: ckpt})
+		var i uint64
+		for i = 0; i < span; i++ {
+			if _, ok := m.Next(); !ok {
+				break
+			}
+		}
+		if i == 0 {
+			// The program halted exactly at the boundary: the checkpoint
+			// stands for nothing.
+			starts = starts[:len(starts)-1]
+			break
+		}
+		executed += i
+		if i < span {
+			starts[len(starts)-1].span = i
+			break
+		}
+	}
+	total := executed
+
+	// Detailed windows in parallel. Results land in a slot per region, so
+	// the merge below is independent of completion order.
+	regions := make([]Region, len(starts))
+	stats := make([]*pipeline.Stats, len(starts))
+	errs := make([]error, len(starts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				det, warm := detail, opts.Warmup
+				if idx == 0 {
+					// The entry region is special: its cold state is the
+					// true initial state, and the warm-up ramp it measures
+					// is nonlinear, so it is simulated whole — no warmup to
+					// discard, no scaling to extrapolate the ramp.
+					det, warm = starts[idx].span, 0
+				}
+				regions[idx], stats[idx], errs[idx] = runRegion(prog, cfg, starts[idx].ckpt, starts[idx].start, starts[idx].span, det, warm)
+				regions[idx].Index = idx
+			}
+		}()
+	}
+	for idx := range starts {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Regions: regions, TotalInsts: total}
+	for idx := range regions {
+		if errs[idx] != nil {
+			return nil, fmt.Errorf("sample: region %d (inst %d): %w", idx, starts[idx].start, errs[idx])
+		}
+		res.DetailedInsts += regions[idx].WarmInsts + regions[idx].Insts
+		res.DetailedCycles += regions[idx].WarmCycles + regions[idx].Cycles
+		res.EstimatedCycles += regions[idx].EstCycles
+		addStats(&res.Stats, stats[idx])
+	}
+	return res, nil
+}
+
+// runRegion restores one architectural checkpoint into a fresh emulator and
+// simulates up to detail instructions on a cold cycle model, optionally
+// excluding a warmup prefix from the measurement.
+func runRegion(prog *isa.Program, cfg pipeline.Config, ckpt []byte, start, span, detail, warm uint64) (Region, *pipeline.Stats, error) {
+	reg := Region{StartInst: start, SpanInsts: span}
+	m := emu.New(prog)
+	r, err := snap.NewReader(ckpt)
+	if err != nil {
+		return reg, nil, err
+	}
+	m.Restore(r)
+	if err := r.Close(); err != nil {
+		return reg, nil, err
+	}
+	budget := detail
+	if budget > span {
+		budget = span
+	}
+	if warm >= budget {
+		warm = budget / 2
+	}
+	cfg.RetireHook = nil // per-region pipelines must not feed shared observers
+	p := pipeline.New(&emu.LimitStream{S: m, Budget: budget}, cfg)
+	if warm > 0 {
+		p.RunTo(warm)
+		reg.WarmCycles = p.CurrentCycle()
+		reg.WarmInsts = p.Retired()
+	}
+	p.RunTo(0)
+	s := p.Finish()
+	reg.Insts = s.Retired - reg.WarmInsts
+	reg.Cycles = s.Cycles - reg.WarmCycles
+	if reg.Insts > 0 {
+		// Scale the measured window's rate over the instructions the region
+		// stands for.
+		reg.EstCycles = float64(reg.Cycles) * float64(span) / float64(reg.Insts)
+	}
+	return reg, s, nil
+}
+
+// addStats accumulates src into dst field by field via reflection: integer
+// counters add, nested structs recurse, and everything else (the PipeTrace
+// debug slice) is skipped. Reflection keeps the merge complete by
+// construction as Stats grows new counters.
+func addStats(dst, src *pipeline.Stats) {
+	addValue(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src).Elem())
+}
+
+func addValue(dst, src reflect.Value) {
+	switch dst.Kind() {
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			addValue(dst.Field(i), src.Field(i))
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		dst.SetUint(dst.Uint() + src.Uint())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		dst.SetInt(dst.Int() + src.Int())
+	}
+}

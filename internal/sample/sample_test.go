@@ -1,0 +1,204 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ctcp/internal/core"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+func benchProgram(t testing.TB, name string, insts uint64) *workloadProg {
+	t.Helper()
+	bm, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return &workloadProg{bm: bm, insts: insts}
+}
+
+type workloadProg struct {
+	bm    workload.Benchmark
+	insts uint64
+}
+
+func fdrtConfig() pipeline.Config {
+	return pipeline.DefaultConfig().WithStrategy(core.FDRT, false)
+}
+
+// TestSampledIPCAccuracy: the sampled estimate must land within 2% of the
+// monolithic run's IPC on the longest kernel. The entry region is measured
+// exactly (it owns the real warm-up ramp); later regions measure a warmed
+// window and scale it over their span. The simulator is deterministic, so
+// the observed error is a fixed property of this configuration, not a
+// statistical bound.
+func TestSampledIPCAccuracy(t *testing.T) {
+	const insts = 400_000
+	p := benchProgram(t, "mcf", insts)
+
+	cfg := fdrtConfig()
+	cfg.MaxInsts = insts
+	full := pipeline.RunProgram(p.bm.ProgramFor(insts), cfg)
+	fullIPC := full.IPC()
+
+	res, err := Run(p.bm.ProgramFor(insts), fdrtConfig(), Options{
+		Interval: 50_000,
+		Detail:   25_000,
+		Warmup:   12_500,
+		Workers:  2,
+		MaxInsts: insts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInsts != insts {
+		t.Fatalf("sampled run covered %d insts, want %d", res.TotalInsts, insts)
+	}
+	if len(res.Regions) != 8 {
+		t.Fatalf("got %d regions, want 8", len(res.Regions))
+	}
+	ipc := res.IPC()
+	if relErr := math.Abs(ipc-fullIPC) / fullIPC; relErr > 0.02 {
+		t.Errorf("sampled IPC %.4f vs full %.4f: relative error %.2f%% exceeds 2%%",
+			ipc, fullIPC, 100*relErr)
+	}
+}
+
+// TestSampledDetailWindow: Detail < Interval scales the estimate over each
+// region's span, and only Detail instructions per region run in detail.
+func TestSampledDetailWindow(t *testing.T) {
+	const insts = 40_000
+	p := benchProgram(t, "gzip", insts)
+	res, err := Run(p.bm.ProgramFor(insts), fdrtConfig(), Options{
+		Interval: 10_000,
+		Detail:   2_500,
+		Workers:  2,
+		MaxInsts: insts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0 runs its whole span in detail; the rest run the 2500-inst
+	// window and scale by 4.
+	if want := uint64(10_000 + 3*2_500); res.DetailedInsts != want {
+		t.Errorf("detailed insts %d, want %d", res.DetailedInsts, want)
+	}
+	for _, reg := range res.Regions {
+		wantInsts := uint64(2_500)
+		if reg.Index == 0 {
+			wantInsts = 10_000
+		}
+		if reg.Insts != wantInsts || reg.SpanInsts != 10_000 {
+			t.Errorf("region %d: detail %d span %d, want %d/10000", reg.Index, reg.Insts, reg.SpanInsts, wantInsts)
+		}
+		want := float64(reg.Cycles) * float64(reg.SpanInsts) / float64(reg.Insts)
+		if math.Abs(reg.EstCycles-want) > 1e-9 {
+			t.Errorf("region %d: estimated %.1f cycles, want %.1f", reg.Index, reg.EstCycles, want)
+		}
+	}
+	if res.Stats.Retired != res.DetailedInsts {
+		t.Errorf("summed stats retired %d, want %d", res.Stats.Retired, res.DetailedInsts)
+	}
+}
+
+// TestSampledDeterministic: worker scheduling must not leak into the
+// result — two runs with a full pool are identical.
+func TestSampledDeterministic(t *testing.T) {
+	const insts = 30_000
+	p := benchProgram(t, "mcf", insts)
+	opts := Options{Interval: 6_000, Detail: 2_000, Workers: 4, MaxInsts: insts}
+	a, err := Run(p.bm.ProgramFor(insts), fdrtConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p.bm.ProgramFor(insts), fdrtConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two sampled runs with 4 workers produced different results")
+	}
+}
+
+// TestSampledOptionValidation: the two required knobs fail loudly.
+func TestSampledOptionValidation(t *testing.T) {
+	p := benchProgram(t, "gzip", 1_000)
+	if _, err := Run(p.bm.ProgramFor(1_000), fdrtConfig(), Options{MaxInsts: 1_000}); err == nil {
+		t.Error("Interval 0 accepted")
+	}
+	if _, err := Run(p.bm.ProgramFor(1_000), fdrtConfig(), Options{Interval: 100}); err == nil {
+		t.Error("MaxInsts 0 accepted")
+	}
+}
+
+// measureSpeedup runs the monolithic and sampled simulations once each and
+// returns their wall times.
+func measureSpeedup(tb testing.TB, insts uint64, workers int) (monolithic, sampled time.Duration, fullIPC, sampleIPC float64) {
+	tb.Helper()
+	bm, ok := workload.ByName("mcf")
+	if !ok {
+		tb.Fatal("mcf missing")
+	}
+	prog := bm.ProgramFor(insts)
+
+	cfg := fdrtConfig()
+	cfg.MaxInsts = insts
+	t0 := time.Now()
+	full := pipeline.RunProgram(prog, cfg)
+	monolithic = time.Since(t0)
+
+	t0 = time.Now()
+	res, err := Run(prog, fdrtConfig(), Options{
+		Interval: insts / 8,
+		Detail:   insts / 16,
+		Warmup:   insts / 32,
+		Workers:  workers,
+		MaxInsts: insts,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sampled = time.Since(t0)
+	return monolithic, sampled, full.IPC(), res.IPC()
+}
+
+// TestSampledSpeedup asserts the headline acceptance number: sampled mode
+// at 4 workers finishes the longest kernel at least 2x faster than the
+// monolithic detailed run. Timing assertions need real parallel hardware
+// and an uninstrumented build, so the test skips itself on small machines,
+// under -race, and in -short runs.
+func TestSampledSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing test skipped under the race detector")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("timing test needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	mono, samp, fullIPC, sampleIPC := measureSpeedup(t, 400_000, 4)
+	speedup := float64(mono) / float64(samp)
+	t.Logf("monolithic %v, sampled %v, speedup %.2fx, IPC %.4f vs %.4f",
+		mono, samp, speedup, fullIPC, sampleIPC)
+	if speedup < 2 {
+		t.Errorf("sampled speedup %.2fx below the 2x bound (monolithic %v, sampled %v)", speedup, mono, samp)
+	}
+	if relErr := math.Abs(sampleIPC-fullIPC) / fullIPC; relErr > 0.02 {
+		t.Errorf("sampled IPC %.4f vs full %.4f: relative error %.2f%% exceeds 2%%",
+			sampleIPC, fullIPC, 100*relErr)
+	}
+}
+
+// BenchmarkSampled reports the sampled-vs-monolithic speedup as a custom
+// metric; the microbenchmark harness records it into BENCH_pipeline.json.
+func BenchmarkSampled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mono, samp, _, _ := measureSpeedup(b, 200_000, 4)
+		b.ReportMetric(float64(mono)/float64(samp), "speedup")
+	}
+}
