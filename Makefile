@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench results
+.PHONY: check build vet lint test race bench results serve-check
 
 # check is the CI gate: compile everything, vet, run the module's own static
 # analysis suite (cmd/ctcplint), then the full test suite under the race
@@ -34,6 +34,13 @@ race:
 # on the paper-style results and belongs in the same commit.
 results:
 	$(GO) run ./cmd/ctcpbench -insts 200000 > results_full.txt
+
+# serve-check runs the ctcpd service suite under the race detector: the
+# exactly-once dedup guarantee (asserted from the outside via /metrics),
+# restart-reuse from the result store, stale-fingerprint resimulation,
+# backpressure, and the shutdown drain.
+serve-check:
+	$(GO) test -race -count=1 ./internal/serve/
 
 # bench runs the cycle-model microbenchmarks, then regenerates
 # BENCH_pipeline.json (current throughput next to the frozen pre-optimization

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -58,11 +59,11 @@ func TestCheckpointedRunMatchesSegmented(t *testing.T) {
 		t.Errorf("checkpointed run diverged from segmented reference\n want %s\n got  %s", wj, gj)
 	}
 
-	donePath := filepath.Join(dir, "gzip_base.done.json")
-	if _, err := os.Stat(donePath); err != nil {
+	stem := filepath.Join(dir, sanitizeKey("gzip/base"))
+	if _, err := os.Stat(stem + ".done.json"); err != nil {
 		t.Fatalf("stats journal missing: %v", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "gzip_base.ckpt")); !os.IsNotExist(err) {
+	if _, err := os.Stat(stem + ".ckpt"); !os.IsNotExist(err) {
 		t.Errorf("checkpoint not removed after completion (err=%v)", err)
 	}
 
@@ -93,9 +94,13 @@ func TestCheckpointedResumeFromPlantedCheckpoint(t *testing.T) {
 	if p.RunTo(ckptEvery) {
 		t.Fatal("stream exhausted during the first segment")
 	}
+	opts := Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}
 	w := snap.NewWriter()
+	w.Begin("run")
+	w.U64(RunFingerprint("gzip", BaseConfig(), opts))
+	w.End()
 	p.Snapshot(w)
-	if err := snap.WriteFile(filepath.Join(dir, "gzip_base.ckpt"), w); err != nil {
+	if err := snap.WriteFile(filepath.Join(dir, sanitizeKey("gzip/base")+".ckpt"), w); err != nil {
 		t.Fatal(err)
 	}
 
@@ -115,7 +120,7 @@ func TestCheckpointedResumeFromPlantedCheckpoint(t *testing.T) {
 // discarded and the run completes from scratch instead of failing.
 func TestCheckpointedCorruptCheckpointRestarts(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "gzip_base.ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, sanitizeKey("gzip/base")+".ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	bm, _ := workload.ByName("gzip")
@@ -126,6 +131,155 @@ func TestCheckpointedCorruptCheckpointRestarts(t *testing.T) {
 	}
 	if want := segmentedReference(t); !reflect.DeepEqual(want, got) {
 		t.Error("restarted run diverged from segmented reference")
+	}
+}
+
+// TestCheckpointedBudgetChangeResimulates is the stale-result regression
+// test: a completed run's journal must only satisfy reruns with the same
+// budget. Rerunning the same key over the same directory at double the
+// budget has to produce fresh full-length stats, never the old journal's.
+func TestCheckpointedBudgetChangeResimulates(t *testing.T) {
+	dir := t.TempDir()
+	bm, _ := workload.ByName("gzip")
+
+	first, err := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Retired != ckptBudget {
+		t.Fatalf("first run retired %d, want %d", first.Retired, ckptBudget)
+	}
+
+	second, err := NewRunner(Options{Budget: 2 * ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Retired != 2*ckptBudget {
+		t.Fatalf("rerun at budget %d served stale stats: retired %d", 2*ckptBudget, second.Retired)
+	}
+
+	// The journal now records the new budget's run; a third runner at the
+	// new budget is satisfied from it, and one at the old budget is not.
+	again, err := NewRunner(Options{Budget: 2 * ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, again) {
+		t.Error("journal reread at the same budget differs from the run that wrote it")
+	}
+	back, err := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, back) {
+		t.Error("returning to the original budget did not reproduce the original stats")
+	}
+}
+
+// TestCheckpointedStaleCheckpointDiscarded plants a mid-run checkpoint
+// written under a different budget (whose snapshotted LimitStream still
+// carries that budget) and checks a run at a new budget discards it and
+// restarts from scratch instead of resuming into the wrong budget.
+func TestCheckpointedStaleCheckpointDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	bm, _ := workload.ByName("gzip")
+
+	// Build the stale checkpoint exactly as a killed old-budget run would
+	// have left it: fingerprinted for ckptBudget, one segment in.
+	oldOpts := Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}
+	cfg := BaseConfig()
+	cfg.MaxInsts = 0
+	p := pipeline.New(&emu.LimitStream{S: emu.New(bm.ProgramFor(ckptBudget)), Budget: ckptBudget}, cfg)
+	if p.RunTo(ckptEvery) {
+		t.Fatal("stream exhausted during the first segment")
+	}
+	w := snap.NewWriter()
+	w.Begin("run")
+	w.U64(RunFingerprint("gzip", BaseConfig(), oldOpts))
+	w.End()
+	p.Snapshot(w)
+	if err := snap.WriteFile(filepath.Join(dir, sanitizeKey("gzip/base")+".ckpt"), w); err != nil {
+		t.Fatal(err)
+	}
+
+	newBudget := 2 * ckptBudget
+	got, err := NewRunner(Options{Budget: newBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Retired != newBudget {
+		t.Fatalf("run resumed a stale checkpoint: retired %d, want %d", got.Retired, newBudget)
+	}
+}
+
+// TestCheckpointedLegacyJournalIgnored: a pre-fingerprint journal (raw stats
+// JSON) must be treated as stale and resimulated, not trusted — it cannot
+// prove which budget or config produced it.
+func TestCheckpointedLegacyJournalIgnored(t *testing.T) {
+	dir := t.TempDir()
+	bm, _ := workload.ByName("gzip")
+	bogus, err := json.Marshal(&pipeline.Stats{Cycles: 42, Retired: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, sanitizeKey("gzip/base")+".done.json"), bogus, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := segmentedReference(t); !reflect.DeepEqual(want, got) {
+		t.Error("legacy journal was served instead of resimulating")
+	}
+}
+
+// TestSanitizeKeyDistinct: keys that collapse to the same character-mapped
+// stem must still map to distinct files (the short raw-key hash), and equal
+// keys must keep mapping to equal stems across calls.
+func TestSanitizeKeyDistinct(t *testing.T) {
+	if sanitizeKey("a/b-x") == sanitizeKey("a_b/x") {
+		t.Error("distinct keys share a checkpoint file stem")
+	}
+	if sanitizeKey("gzip/base") != sanitizeKey("gzip/base") {
+		t.Error("sanitizeKey is not deterministic")
+	}
+	keys := []string{"a/b-x", "a_b/x", "a-b/x", "a/b_x", "a/b/x", "a//b-x", "A/b-x"}
+	seen := map[string]string{}
+	for _, k := range keys {
+		stem := sanitizeKey(k)
+		if prev, dup := seen[stem]; dup {
+			t.Errorf("keys %q and %q collide on stem %q", prev, k, stem)
+		}
+		seen[stem] = k
+	}
+}
+
+// TestRunnerInterrupt: a closed Interrupt channel makes pending runs return
+// ErrInterrupted instead of simulating, and a checkpointed rerun without the
+// interrupt completes normally afterwards.
+func TestRunnerInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	bm, _ := workload.ByName("gzip")
+	stop := make(chan struct{})
+	close(stop)
+	r := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery, Interrupt: stop})
+	if _, err := r.RunErr(bm, "base", BaseConfig()); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	got, err := NewRunner(Options{Budget: ckptBudget, CheckpointDir: dir, CheckpointEvery: ckptEvery}).
+		RunErr(bm, "base", BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := segmentedReference(t); !reflect.DeepEqual(want, got) {
+		t.Error("post-interrupt rerun diverged from segmented reference")
 	}
 }
 

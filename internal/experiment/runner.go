@@ -5,8 +5,12 @@
 package experiment
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -103,7 +107,22 @@ type Options struct {
 	// uninterrupted segmented run.
 	CheckpointDir   string
 	CheckpointEvery uint64
+
+	// Interrupt, when non-nil, requests cooperative cancellation: a run that
+	// has not started yet, or a checkpointed run between two segments,
+	// observes the closed channel and returns ErrInterrupted instead of
+	// simulating on. A checkpointed run's newest segment checkpoint is
+	// already on disk at every observation point, so an interrupted sweep
+	// loses at most one segment per key and a rerun resumes bit-exactly.
+	// Long-lived services use this to drain in-flight work on shutdown.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned by Run/RunErr for runs cut short by
+// Options.Interrupt. It is an operational signal (shutdown), not a
+// simulation failure: the run can be retried — and, in checkpointed mode,
+// resumed — by a fresh runner.
+var ErrInterrupted = errors.New("experiment: run interrupted by shutdown")
 
 // RunnerStats is a point-in-time snapshot of a Runner's execution counters.
 type RunnerStats struct {
@@ -170,6 +189,79 @@ func NewRunner(opts Options) *Runner {
 
 // Budget returns the per-run instruction budget.
 func (r *Runner) Budget() uint64 { return r.opts.Budget }
+
+// Fingerprint returns the canonical identity of the result Run(bm, _, cfg)
+// would produce under this runner's options. See RunFingerprint.
+func (r *Runner) Fingerprint(bm workload.Benchmark, cfg pipeline.Config) uint64 {
+	return RunFingerprint(bm.Name, cfg, r.opts)
+}
+
+// RunFingerprint hashes everything that determines a run's stats — the
+// benchmark name, the full serialized configuration (pipeline.Config's
+// canonical fingerprint), the instruction budget, and the result-affecting
+// mode options — into one FNV-64a value. Results persisted under this
+// fingerprint (stats journals, checkpoint headers, the ctcpd result store)
+// can never be served back for a run that would compute something else:
+// changing the budget, any config field, or the segmentation/sampling
+// schedule changes the fingerprint. Concurrency knobs (Parallelism,
+// SampleWorkers) are excluded because the runner and sampler are
+// deterministic under them; so is CheckpointDir, which relocates files
+// without affecting the simulated schedule.
+func RunFingerprint(bmName string, cfg pipeline.Config, opts Options) uint64 {
+	budget := opts.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	// The budget is hashed explicitly below; the config's MaxInsts field is
+	// zeroed so callers that pre-set it agree with the runner, which owns
+	// the budget in every mode.
+	cfg.MaxInsts = 0
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	io.WriteString(h, bmName)
+	h.Write([]byte{0})
+	put(cfg.Fingerprint())
+	put(budget)
+	switch {
+	case opts.SampleInterval != 0:
+		put(2) // mode: sampled
+		put(opts.SampleInterval)
+		put(opts.SampleDetail)
+		put(opts.SampleWarmup)
+	case opts.CheckpointDir != "":
+		put(1) // mode: checkpoint-segmented (RunTo drain points shift cycles)
+		put(effectiveEvery(budget, opts.CheckpointEvery))
+	default:
+		put(0) // mode: monolithic
+	}
+	return h.Sum64()
+}
+
+// effectiveEvery resolves the checkpoint spacing actually used for a budget:
+// it determines the segment schedule, so it is part of the run fingerprint.
+func effectiveEvery(budget, every uint64) uint64 {
+	if every == 0 {
+		every = budget / 4
+	}
+	if every == 0 {
+		every = 1
+	}
+	return every
+}
+
+// interrupted reports whether Options.Interrupt has fired (nil = never).
+func (r *Runner) interrupted() bool {
+	select {
+	case <-r.opts.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
 
 func (r *Runner) emit(ev ProgressEvent) {
 	if r.opts.Progress != nil {
@@ -256,9 +348,14 @@ func (r *Runner) simulate(key string, bm workload.Benchmark, cfg pipeline.Config
 	prog := bm.ProgramFor(r.opts.Budget)
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+	if r.interrupted() {
+		// Shutdown arrived while this run waited for a simulation slot;
+		// returning before any model work lets a drain finish promptly.
+		return nil, ErrInterrupted
+	}
 	switch {
 	case r.opts.CheckpointDir != "":
-		return r.runCheckpointed(key, prog, cfg)
+		return r.runCheckpointed(key, r.Fingerprint(bm, cfg), prog, cfg)
 	case r.opts.SampleInterval != 0:
 		return r.runSampled(prog, cfg)
 	default:
@@ -288,9 +385,17 @@ func (r *Runner) runSampled(prog *isa.Program, cfg pipeline.Config) (*pipeline.S
 	return &s, nil
 }
 
-// sanitizeKey maps a run key to a filesystem-safe checkpoint file stem.
+// sanitizeKey maps a run key to a filesystem-safe checkpoint file stem. The
+// character mapping alone is lossy — "a/b-x" and "a_b/x" both map to
+// "a_b-x", which would let two distinct runs clobber each other's files — so
+// the stem also carries a short hash of the raw key: distinct keys always
+// get distinct stems, while the readable prefix keeps the directory
+// browsable.
 func sanitizeKey(key string) string {
-	return strings.Map(func(c rune) rune {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	sum := h.Sum64()
+	mapped := strings.Map(func(c rune) rune {
 		switch {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
 			c == '.', c == '-', c == '_':
@@ -299,49 +404,72 @@ func sanitizeKey(key string) string {
 			return '_'
 		}
 	}, key)
+	return fmt.Sprintf("%s-%08x", mapped, uint32(sum^(sum>>32)))
+}
+
+// journal is the on-disk schema of a completed run's .done.json. The
+// fingerprint ties the stats to the exact budget + config + schedule that
+// produced them; a journal whose fingerprint does not match the requested
+// run is stale (for example, the sweep was rerun with a different -insts)
+// and is ignored rather than served.
+type journal struct {
+	Fingerprint string          `json:"fingerprint"`
+	Key         string          `json:"key"`
+	Budget      uint64          `json:"budget"`
+	Stats       *pipeline.Stats `json:"stats"`
 }
 
 // runCheckpointed executes one run as a sequence of RunTo segments,
 // persisting the full simulator state after each one. A completed run
 // leaves a stats journal and removes its checkpoint; a rerun finds the
 // journal and returns instantly. A killed run leaves its newest checkpoint
-// behind, and the rerun resumes from it bit-exactly. A checkpoint that
-// fails to decode (truncated write, version skew, config drift) is
-// discarded and the run restarts from scratch rather than failing.
-func (r *Runner) runCheckpointed(key string, prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
+// behind, and the rerun resumes from it bit-exactly. Both durable files are
+// bound to the run fingerprint (budget + config + schedule): a journal or
+// checkpoint written under different options — the classic stale case is a
+// rerun with a changed -insts budget over the same directory — is detected
+// on load and discarded, restarting from scratch, exactly as a checkpoint
+// that fails to decode (truncated write, version skew) is.
+func (r *Runner) runCheckpointed(key string, fp uint64, prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
 	stem := filepath.Join(r.opts.CheckpointDir, sanitizeKey(key))
 	ckptPath := stem + ".ckpt"
 	donePath := stem + ".done.json"
+	fpHex := fmt.Sprintf("%016x", fp)
 
 	if buf, err := os.ReadFile(donePath); err == nil {
-		var s pipeline.Stats
-		if json.Unmarshal(buf, &s) == nil {
-			return &s, nil
+		var j journal
+		if json.Unmarshal(buf, &j) == nil && j.Stats != nil && j.Fingerprint == fpHex {
+			return j.Stats, nil
 		}
-		// Corrupt journal: fall through and resimulate.
+		// Stale (written under a different budget/config), pre-fingerprint,
+		// or corrupt journal: fall through, resimulate, and overwrite.
 	}
 
 	budget := r.opts.Budget
-	every := r.opts.CheckpointEvery
-	if every == 0 {
-		every = budget / 4
-	}
-	if every == 0 {
-		every = 1
-	}
+	every := effectiveEvery(budget, r.opts.CheckpointEvery)
 	cfg.MaxInsts = 0 // the budget lives in the (snapshotable) LimitStream
 	newPipe := func() *pipeline.Pipeline {
 		return pipeline.New(&emu.LimitStream{S: emu.New(prog), Budget: budget}, cfg)
 	}
 	p := newPipe()
 	if rd, err := snap.ReadFile(ckptPath); err == nil {
-		p.Restore(rd)
-		if err := rd.Close(); err != nil {
-			// Unusable checkpoint: restart clean.
+		rd.Begin("run")
+		rd.Expect("run fingerprint", fp)
+		rd.End()
+		if rd.Err() == nil {
+			p.Restore(rd)
+		}
+		if rd.Err() != nil || rd.Close() != nil {
+			// Stale (old budget/config still baked into the snapshotted
+			// LimitStream) or unusable checkpoint: restart clean.
 			p = newPipe()
 		}
 	}
 	for {
+		if r.interrupted() {
+			// The newest segment checkpoint is already on disk; a rerun
+			// resumes from it bit-exactly.
+			return nil, ErrInterrupted
+		}
 		next := (p.Consumed()/every + 1) * every
 		if next > budget {
 			next = budget
@@ -350,17 +478,23 @@ func (r *Runner) runCheckpointed(key string, prog *isa.Program, cfg pipeline.Con
 			break
 		}
 		w := snap.NewWriter()
+		w.Begin("run")
+		w.U64(fp)
+		w.End()
 		p.Snapshot(w)
 		if err := snap.WriteFile(ckptPath, w); err != nil {
 			return nil, fmt.Errorf("writing checkpoint %s: %w", ckptPath, err)
 		}
 	}
 	s := p.Finish()
-	buf, err := json.Marshal(s)
+	buf, err := json.Marshal(journal{Fingerprint: fpHex, Key: key, Budget: budget, Stats: s})
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(donePath, buf, 0o644); err != nil {
+	// The journal takes the same atomic temp+rename path as checkpoints: a
+	// kill mid-write must never leave a torn .done.json that a rerun would
+	// half-parse.
+	if err := snap.WriteFileBytes(donePath, buf); err != nil {
 		return nil, fmt.Errorf("writing stats journal %s: %w", donePath, err)
 	}
 	os.Remove(ckptPath) // superseded by the journal

@@ -8,7 +8,10 @@ import (
 	"time"
 
 	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
 	"ctcp/internal/pipeline"
+	"ctcp/internal/prog"
 	"ctcp/internal/workload"
 )
 
@@ -132,6 +135,145 @@ func TestSampledOptionValidation(t *testing.T) {
 	}
 	if _, err := Run(p.bm.ProgramFor(1_000), fdrtConfig(), Options{Interval: 100}); err == nil {
 		t.Error("MaxInsts 0 accepted")
+	}
+}
+
+// straightLine builds a program with an exactly known committed-instruction
+// count (measured with a functional run, so HALT/OUT accounting can never
+// drift from the emulator's) and an even count for clean halving.
+func straightLine(t *testing.T, ops int) (*isa.Program, uint64) {
+	t.Helper()
+	build := func(ops int) *isa.Program {
+		b := prog.New()
+		for i := 0; i < ops; i++ {
+			b.OpI(isa.ADD, isa.R(5), 1, isa.R(5))
+		}
+		b.Out(isa.R(5))
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := build(ops)
+	n, err := emu.New(p).Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n%2 == 1 {
+		p = build(ops + 1)
+		if n, err = emu.New(p).Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, n
+}
+
+// TestSampleHaltOnRegionBoundary: a program that halts exactly at a region
+// boundary must not produce a phantom trailing region — the checkpoint taken
+// at the boundary stands for zero instructions and is dropped.
+func TestSampleHaltOnRegionBoundary(t *testing.T) {
+	p, n := straightLine(t, 62)
+	res, err := Run(p, fdrtConfig(), Options{
+		Interval: n / 2,
+		MaxInsts: 2 * n, // the budget outlives the program: it halts first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 2 {
+		t.Fatalf("got %d regions, want 2 (no phantom region after the halt boundary)", len(res.Regions))
+	}
+	if res.TotalInsts != n {
+		t.Errorf("TotalInsts %d, want the program's %d", res.TotalInsts, n)
+	}
+	for i, reg := range res.Regions {
+		if reg.SpanInsts != n/2 {
+			t.Errorf("region %d span %d, want %d", i, reg.SpanInsts, n/2)
+		}
+		if reg.StartInst != uint64(i)*n/2 {
+			t.Errorf("region %d starts at %d, want %d", i, reg.StartInst, uint64(i)*n/2)
+		}
+	}
+	// Full-detail regions: the estimate is the measured cycles, unscaled.
+	if res.DetailedInsts != n || res.Stats.Retired != n {
+		t.Errorf("detailed %d insts (stats %d), want %d", res.DetailedInsts, res.Stats.Retired, n)
+	}
+	if res.EstimatedCycles != float64(res.DetailedCycles) {
+		t.Errorf("EstimatedCycles %.1f, want exactly the measured %d", res.EstimatedCycles, res.DetailedCycles)
+	}
+	if res.EstimatedCycles <= 0 || res.IPC() <= 0 {
+		t.Errorf("degenerate estimate: %.1f cycles, IPC %.3f", res.EstimatedCycles, res.IPC())
+	}
+}
+
+// TestSampleSingleRegion: an interval at least as long as the program yields
+// one region — the entry region — which is always measured whole and cold,
+// so the estimate equals the detailed measurement exactly.
+func TestSampleSingleRegion(t *testing.T) {
+	p, n := straightLine(t, 50)
+	res, err := Run(p, fdrtConfig(), Options{
+		Interval: 3 * n,
+		Warmup:   n, // must be ignored: region 0 is never warmed
+		MaxInsts: 2 * n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 1 {
+		t.Fatalf("got %d regions, want 1", len(res.Regions))
+	}
+	reg := res.Regions[0]
+	if reg.WarmInsts != 0 || reg.WarmCycles != 0 {
+		t.Errorf("entry region warmed (%d insts, %d cycles); it owns the true cold ramp", reg.WarmInsts, reg.WarmCycles)
+	}
+	if res.TotalInsts != n || reg.SpanInsts != n || reg.Insts != n {
+		t.Errorf("insts: total %d span %d detailed %d, all want %d", res.TotalInsts, reg.SpanInsts, reg.Insts, n)
+	}
+	if res.EstimatedCycles != float64(reg.Cycles) || res.EstimatedCycles != float64(res.DetailedCycles) {
+		t.Errorf("single whole region must not scale: est %.1f, measured %d", res.EstimatedCycles, reg.Cycles)
+	}
+}
+
+// TestSampleWarmupClamped: a Warmup that would leave no measured
+// instructions is clamped to half the detailed window, keeping every
+// non-entry region's measurement non-empty.
+func TestSampleWarmupClamped(t *testing.T) {
+	const insts = 20_000
+	p := benchProgram(t, "gzip", insts)
+	const interval, detail = 5_000, 2_000
+	res, err := Run(p.bm.ProgramFor(insts), fdrtConfig(), Options{
+		Interval: interval,
+		Detail:   detail,
+		Warmup:   interval, // >= the window: would consume the whole budget
+		MaxInsts: insts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInsts != insts {
+		t.Fatalf("TotalInsts %d, want %d", res.TotalInsts, insts)
+	}
+	for _, reg := range res.Regions {
+		if reg.Index == 0 {
+			if reg.WarmInsts != 0 || reg.Insts != interval {
+				t.Errorf("entry region: warm %d detailed %d, want 0/%d", reg.WarmInsts, reg.Insts, interval)
+			}
+			continue
+		}
+		if want := uint64(detail / 2); reg.WarmInsts != want {
+			t.Errorf("region %d warmup %d, want clamp to %d", reg.Index, reg.WarmInsts, want)
+		}
+		if reg.Insts == 0 {
+			t.Errorf("region %d has no measured instructions", reg.Index)
+		}
+		if reg.Insts+reg.WarmInsts != detail {
+			t.Errorf("region %d warm %d + measured %d != window %d", reg.Index, reg.WarmInsts, reg.Insts, detail)
+		}
+	}
+	if res.EstimatedCycles <= float64(res.DetailedCycles-res.Regions[0].Cycles) {
+		t.Errorf("estimate %.1f does not cover the scaled-up regions", res.EstimatedCycles)
 	}
 }
 

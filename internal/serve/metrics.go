@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ctcp/internal/experiment"
+)
+
+// metricsSnapshot is one consistent read of every counter /metrics exposes:
+// the service-level job counters, the queue gauge, and the pooled runners'
+// execution counters summed into one view. The runner sums are the
+// exactly-once witness: after any number of duplicate submissions of one
+// job, runner.started stays 1.
+type metricsSnapshot struct {
+	submitted, completed, failed, interrupted, rejected, storeHits uint64
+	queueDepth, queueCap                                           int
+	queueWaitSeconds, simSeconds                                   float64
+	queueWaitN, simN                                               uint64
+	runner                                                         experiment.RunnerStats
+	storeRecords                                                   int
+	storeHitsDisk, storeMisses, storePuts                          uint64
+}
+
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	s.mu.Lock()
+	m := metricsSnapshot{
+		submitted:        s.submitted,
+		completed:        s.completed,
+		failed:           s.failed,
+		interrupted:      s.interrupted,
+		rejected:         s.rejected,
+		storeHits:        s.storeHits,
+		queueDepth:       len(s.queue),
+		queueCap:         cap(s.queue),
+		queueWaitSeconds: s.queueWait.Seconds(),
+		queueWaitN:       s.queueWaitN,
+		simSeconds:       s.simWall.Seconds(),
+		simN:             s.simN,
+	}
+	runners := make([]*experiment.Runner, 0, len(s.runners))
+	for _, r := range s.runners {
+		runners = append(runners, r)
+	}
+	s.mu.Unlock()
+	// Runner snapshots take each runner's own lock; do it outside ours.
+	for _, r := range runners {
+		rs := r.Stats()
+		m.runner.Started += rs.Started
+		m.runner.Completed += rs.Completed
+		m.runner.Failed += rs.Failed
+		m.runner.Deduped += rs.Deduped
+		m.runner.CacheHits += rs.CacheHits
+	}
+	m.storeRecords = s.store.Len()
+	m.storeHitsDisk = s.store.hits.Load()
+	m.storeMisses = s.store.misses.Load()
+	m.storePuts = s.store.puts.Load()
+	return m
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (hand-rolled; the service is stdlib-only by design).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.snapshotMetrics()
+	var b strings.Builder
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter("ctcpd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
+	counter("ctcpd_jobs_completed_total", "Jobs that finished successfully.", m.completed)
+	counter("ctcpd_jobs_failed_total", "Jobs that failed with a simulation error.", m.failed)
+	counter("ctcpd_jobs_interrupted_total", "Jobs cut short by shutdown.", m.interrupted)
+	counter("ctcpd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.rejected)
+	counter("ctcpd_store_hits_total", "Submissions answered from the result store.", m.storeHits)
+	gauge("ctcpd_queue_depth", "Jobs accepted but not yet running.", m.queueDepth)
+	gauge("ctcpd_queue_capacity", "Configured queue bound.", m.queueCap)
+	counter("ctcpd_queue_wait_seconds_total", "Total time jobs spent queued.", fmt.Sprintf("%g", m.queueWaitSeconds))
+	counter("ctcpd_queue_wait_count_total", "Jobs that left the queue for a worker.", m.queueWaitN)
+	counter("ctcpd_sim_seconds_total", "Total wall time spent in simulation calls.", fmt.Sprintf("%g", m.simSeconds))
+	counter("ctcpd_sim_count_total", "Simulation calls issued to runners.", m.simN)
+	counter("ctcpd_runner_started_total", "Distinct simulations begun by the pooled runners.", m.runner.Started)
+	counter("ctcpd_runner_completed_total", "Runner simulations that finished successfully.", m.runner.Completed)
+	counter("ctcpd_runner_failed_total", "Runner simulations that aborted.", m.runner.Failed)
+	counter("ctcpd_runner_deduped_total", "Callers who joined an in-flight runner simulation.", m.runner.Deduped)
+	counter("ctcpd_runner_cache_hits_total", "Callers satisfied from a runner's completed-run cache.", m.runner.CacheHits)
+	gauge("ctcpd_store_records", "Result records currently persisted.", m.storeRecords)
+	counter("ctcpd_store_reads_hit_total", "Store reads that returned a valid record.", m.storeHitsDisk)
+	counter("ctcpd_store_reads_miss_total", "Store reads that found no valid record.", m.storeMisses)
+	counter("ctcpd_store_writes_total", "Records persisted to the store.", m.storePuts)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String())) //nolint:errcheck // client hangup; nothing to do
+}

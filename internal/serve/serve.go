@@ -1,0 +1,560 @@
+// Package serve implements ctcpd, a stdlib-only HTTP/JSON simulation
+// service over the experiment runner. Clients submit (benchmark, strategy,
+// budget, mode) jobs; the service simulates each distinct job exactly once —
+// concurrent duplicates join the in-flight job, repeats are answered from a
+// content-addressed result store keyed by the canonical run fingerprint
+// (experiment.RunFingerprint) — and exposes its counters in Prometheus text
+// form on /metrics. Shutdown drains in-flight simulations cooperatively:
+// checkpoint-mode runs stop at the next segment boundary with their newest
+// checkpoint already on disk, so a restarted server resumes them bit-exactly.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ctcp/internal/experiment"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the result-store directory (required).
+	Store string
+	// CheckpointDir, when set, lets jobs request checkpoint-segmented runs;
+	// it is also what makes shutdown lossless for long simulations.
+	CheckpointDir string
+	// QueueDepth bounds the number of accepted-but-not-running jobs
+	// (0 = 64). A full queue rejects submissions with 429 rather than
+	// accepting unbounded work.
+	QueueDepth int
+	// Workers is the number of concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// DefaultBudget is applied to requests that omit a budget
+	// (0 = experiment.DefaultBudget).
+	DefaultBudget uint64
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+// Request is the submission payload of POST /api/v1/jobs.
+type Request struct {
+	// Benchmark is a workload name (see workload.All).
+	Benchmark string `json:"benchmark"`
+	// Config is a strategy-configuration name (see experiment.StrategyConfigs).
+	Config string `json:"config"`
+	// Budget is the committed-instruction budget (0 = server default).
+	Budget uint64 `json:"budget,omitempty"`
+
+	// SampleInterval switches the run to region-parallel sampled simulation;
+	// SampleDetail and SampleWarmup pass through. Mutually exclusive with
+	// Checkpoint.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleDetail   uint64 `json:"sample_detail,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+
+	// Checkpoint requests a checkpoint-segmented run (requires the server to
+	// be configured with a checkpoint directory).
+	Checkpoint      bool   `json:"checkpoint,omitempty"`
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+}
+
+// mode names the request's simulation mode for records and logs.
+func (req Request) mode() string {
+	switch {
+	case req.SampleInterval != 0:
+		return "sampled"
+	case req.Checkpoint:
+		return "checkpointed"
+	default:
+		return "full"
+	}
+}
+
+// Job statuses, in lifecycle order.
+const (
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusDone        = "done"
+	StatusFailed      = "failed"
+	StatusInterrupted = "interrupted"
+)
+
+// Job tracks one submitted simulation from acceptance to result. All mutable
+// fields are guarded by the owning Server's mutex; done is closed exactly
+// once, when the job reaches a terminal status.
+type Job struct {
+	ID          string
+	Fingerprint string
+	Request     Request
+
+	seq    int
+	bm     workload.Benchmark
+	cfg    pipeline.Config
+	opts   experiment.Options
+	status string
+	errMsg string
+	stats  *pipeline.Stats
+	cached bool // satisfied from the result store, no simulation
+	queued time.Time
+	begun  time.Time
+	done   chan struct{}
+}
+
+// jobView is the JSON shape of a job in every API response.
+type jobView struct {
+	ID          string          `json:"id"`
+	Fingerprint string          `json:"fingerprint"`
+	Benchmark   string          `json:"benchmark"`
+	Config      string          `json:"config"`
+	Budget      uint64          `json:"budget"`
+	Mode        string          `json:"mode"`
+	Status      string          `json:"status"`
+	Cached      bool            `json:"cached"`
+	Error       string          `json:"error,omitempty"`
+	Stats       *pipeline.Stats `json:"stats,omitempty"`
+}
+
+// Server is the ctcpd HTTP handler plus its worker pool. Create with New,
+// serve with net/http, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	store *Store
+	mux   *http.ServeMux
+
+	queue     chan *Job
+	interrupt chan struct{}
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	jobs    map[string]*Job // by ID
+	byFP    map[string]*Job // by fingerprint: the service-level dedup index
+	runners map[string]*experiment.Runner
+
+	submitted, completed, failed, interrupted, rejected, storeHits uint64
+	queueWait, simWall                                             time.Duration
+	queueWaitN, simN                                               uint64
+}
+
+// New builds a Server, opens (or creates) its result store, and starts its
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	store, err := OpenStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating checkpoint directory: %w", err)
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultBudget == 0 {
+		cfg.DefaultBudget = experiment.DefaultBudget
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		interrupt: make(chan struct{}),
+		jobs:      make(map[string]*Job),
+		byFP:      make(map[string]*Job),
+		runners:   make(map[string]*experiment.Runner),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/results/{fp}", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// options translates a validated request into the runner options that
+// simulate it. Everything here that affects results is covered by
+// experiment.RunFingerprint; Parallelism is sized so a runner never throttles
+// below the server's own worker pool.
+func (s *Server) options(req Request) experiment.Options {
+	opts := experiment.Options{
+		Budget:         req.Budget,
+		Parallelism:    s.cfg.Workers,
+		SampleInterval: req.SampleInterval,
+		SampleDetail:   req.SampleDetail,
+		SampleWarmup:   req.SampleWarmup,
+		Interrupt:      s.interrupt,
+	}
+	if req.Checkpoint {
+		opts.CheckpointDir = s.cfg.CheckpointDir
+		opts.CheckpointEvery = req.CheckpointEvery
+	}
+	return opts
+}
+
+// profileKey groups jobs that can share one experiment.Runner: the runner
+// memoizes by benchmark/config name only, so every result-affecting option
+// must be part of the pool key.
+func profileKey(opts experiment.Options) string {
+	return fmt.Sprintf("b%d|s%d,%d,%d|c%s,%d",
+		opts.Budget,
+		opts.SampleInterval, opts.SampleDetail, opts.SampleWarmup,
+		opts.CheckpointDir, opts.CheckpointEvery)
+}
+
+// runnerFor returns the pooled runner for a job's options profile, creating
+// it on first use. Caller holds s.mu.
+func (s *Server) runnerFor(opts experiment.Options) *experiment.Runner {
+	key := profileKey(opts)
+	r, ok := s.runners[key]
+	if !ok {
+		r = experiment.NewRunner(opts)
+		s.runners[key] = r
+	}
+	return r
+}
+
+// validate resolves a request against the known benchmarks and strategy
+// configurations and applies server defaults. It returns the resolved
+// benchmark and config alongside the normalized request.
+func (s *Server) validate(req Request) (Request, workload.Benchmark, pipeline.Config, error) {
+	bm, ok := workload.ByName(req.Benchmark)
+	if !ok {
+		return req, bm, pipeline.Config{}, fmt.Errorf("unknown benchmark %q", req.Benchmark)
+	}
+	cfgs := experiment.StrategyConfigs()
+	cfg, ok := cfgs[req.Config]
+	if !ok {
+		names := make([]string, 0, len(cfgs))
+		for name := range cfgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return req, bm, cfg, fmt.Errorf("unknown config %q (have %v)", req.Config, names)
+	}
+	if req.Budget == 0 {
+		req.Budget = s.cfg.DefaultBudget
+	}
+	if req.SampleInterval != 0 && req.Checkpoint {
+		return req, bm, cfg, fmt.Errorf("sampled and checkpointed modes are mutually exclusive")
+	}
+	if req.Checkpoint && s.cfg.CheckpointDir == "" {
+		return req, bm, cfg, fmt.Errorf("checkpoint requested but the server has no checkpoint directory")
+	}
+	return req, bm, cfg, nil
+}
+
+// Submit accepts a job (or joins/answers an equivalent one). The returned
+// HTTP status tells the story: 202 for a newly queued simulation, 200 when
+// the request was satisfied by an existing job or the result store, 400 for
+// an invalid request, 429 when the queue is full, 503 when shutting down.
+func (s *Server) Submit(req Request) (*Job, int, error) {
+	req, bm, cfg, err := s.validate(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts := s.options(req)
+	fp := experiment.RunFingerprint(bm.Name, cfg, opts)
+	hex := fpHex(fp)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
+	}
+	// Service-level dedup: an equivalent job (queued, running, or already
+	// terminal) absorbs the submission. This is what guarantees concurrent
+	// duplicate submissions cost one simulation, before the runner's own
+	// singleflight even sees them.
+	if j, ok := s.byFP[hex]; ok {
+		return j, http.StatusOK, nil
+	}
+	// Durable dedup: a previous process already simulated this fingerprint.
+	if rec, ok := s.store.Get(fp); ok {
+		j := s.newJobLocked(req, hex, bm, cfg, opts)
+		j.status = StatusDone
+		j.stats = rec.Stats
+		j.cached = true
+		close(j.done)
+		s.storeHits++
+		s.logf("job %s: %s/%s served from store (%s)", j.ID, req.Benchmark, req.Config, hex)
+		return j, http.StatusOK, nil
+	}
+	j := s.newJobLocked(req, hex, bm, cfg, opts)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		delete(s.byFP, hex)
+		s.rejected++
+		return nil, http.StatusTooManyRequests, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
+	}
+	s.submitted++
+	s.logf("job %s: queued %s/%s budget=%d mode=%s fp=%s",
+		j.ID, req.Benchmark, req.Config, req.Budget, req.mode(), hex)
+	return j, http.StatusAccepted, nil
+}
+
+// newJobLocked allocates and indexes a job. Caller holds s.mu.
+func (s *Server) newJobLocked(req Request, hex string, bm workload.Benchmark, cfg pipeline.Config, opts experiment.Options) *Job {
+	s.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("job-%d", s.seq),
+		Fingerprint: hex,
+		Request:     req,
+		seq:         s.seq,
+		bm:          bm,
+		cfg:         cfg,
+		opts:        opts,
+		status:      StatusQueued,
+		queued:      time.Now(),
+		done:        make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.byFP[hex] = j
+	return j
+}
+
+// worker consumes the job queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.interrupt:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one queued job to a terminal status.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.begun = time.Now()
+	s.queueWait += j.begun.Sub(j.queued)
+	s.queueWaitN++
+	r := s.runnerFor(j.opts)
+	s.mu.Unlock()
+
+	stats, err := r.RunErr(j.bm, j.Request.Config, j.cfg)
+	wall := time.Since(j.begun)
+
+	if err == nil {
+		if perr := s.store.Put(&Record{
+			Fingerprint: j.Fingerprint,
+			Benchmark:   j.Request.Benchmark,
+			Config:      j.Request.Config,
+			Budget:      j.Request.Budget,
+			Mode:        j.Request.mode(),
+			Stats:       stats,
+		}); perr != nil {
+			// The result is valid even if persisting it failed; the job
+			// succeeds and only durability is lost.
+			s.logf("job %s: result store write failed: %v", j.ID, perr)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simWall += wall
+	s.simN++
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.stats = stats
+		s.completed++
+		s.logf("job %s: done in %v", j.ID, wall.Round(time.Millisecond))
+	case errors.Is(err, experiment.ErrInterrupted):
+		j.status = StatusInterrupted
+		j.errMsg = err.Error()
+		s.interrupted++
+		s.logf("job %s: interrupted by shutdown", j.ID)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.failed++
+		s.logf("job %s: failed: %v", j.ID, err)
+	}
+	close(j.done)
+}
+
+// Shutdown stops intake, interrupts queued and in-flight simulations, and
+// waits (up to ctx) for the workers to drain. Checkpoint-mode runs stop at
+// their next segment boundary with the newest checkpoint already persisted,
+// so nothing beyond one segment of work is lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.interrupt)
+	}
+	s.mu.Unlock()
+	// Jobs still sitting in the queue will never be picked up (workers exit
+	// on interrupt); resolve them so waiters unblock. Workers racing this
+	// drain are harmless — whichever side receives the job marks it.
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			j.status = StatusInterrupted
+			j.errMsg = experiment.ErrInterrupted.Error()
+			s.interrupted++
+			close(j.done)
+			s.mu.Unlock()
+			continue
+		default:
+		}
+		break
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// view renders a job under s.mu.
+func (s *Server) view(j *Job) jobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return jobView{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		Benchmark:   j.Request.Benchmark,
+		Config:      j.Request.Config,
+		Budget:      j.Request.Budget,
+		Mode:        j.Request.mode(),
+		Status:      j.status,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		Stats:       j.stats,
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client hangup; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, status, err := s.Submit(req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, s.view(j))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration: %w", err))
+			return
+		}
+		if d > 5*time.Minute {
+			d = 5 * time.Minute
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = s.view(j)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	fp, err := strconv.ParseUint(r.PathValue("fp"), 16, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fingerprint must be a 64-bit hex value"))
+		return
+	}
+	rec, ok := s.store.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result for fingerprint %s", fpHex(fp)))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

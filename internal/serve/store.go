@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"ctcp/internal/pipeline"
+	"ctcp/internal/snap"
+)
+
+// Record is one persisted simulation result. The file is named by the run
+// fingerprint (content addressing: the name *is* the identity of what was
+// simulated), and the fingerprint is repeated inside the record so a renamed
+// or hand-copied file can never impersonate a different run. Everything a
+// human needs to audit the entry — benchmark, config name, budget, mode —
+// rides along; the stats are the exact bytes-for-bytes JSON round-trip of
+// the run's pipeline.Stats.
+type Record struct {
+	Fingerprint string          `json:"fingerprint"`
+	Benchmark   string          `json:"benchmark"`
+	Config      string          `json:"config"`
+	Budget      uint64          `json:"budget"`
+	Mode        string          `json:"mode"` // "full", "sampled", or "checkpointed"
+	Stats       *pipeline.Stats `json:"stats"`
+}
+
+// Store is a content-addressed, crash-safe result store: one JSON record per
+// run fingerprint, written atomically (temp+rename via snap.WriteFileBytes),
+// so concurrent writers of the same fingerprint — which by construction hold
+// identical payloads — and readers racing a write both observe a complete
+// record or none. It is the durable layer that lets a restarted ctcpd serve
+// repeated requests without resimulating.
+type Store struct {
+	dir string
+
+	hits, misses, puts atomic.Uint64
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store directory must be set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func fpHex(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+func (st *Store) path(fp uint64) string {
+	return filepath.Join(st.dir, fpHex(fp)+".json")
+}
+
+// Get returns the persisted record for fp, if a valid one exists. A missing,
+// corrupt, or mislabeled (internal fingerprint disagreeing with the file
+// name) record reads as a miss: the worst outcome is a redundant
+// resimulation, never a wrong result.
+func (st *Store) Get(fp uint64) (*Record, bool) {
+	buf, err := os.ReadFile(st.path(fp))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, false
+	}
+	var rec Record
+	if json.Unmarshal(buf, &rec) != nil || rec.Stats == nil || rec.Fingerprint != fpHex(fp) {
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.hits.Add(1)
+	return &rec, true
+}
+
+// Put persists rec under its fingerprint, atomically replacing any previous
+// record for the same fingerprint.
+func (st *Store) Put(rec *Record) error {
+	if rec.Stats == nil {
+		return fmt.Errorf("serve: refusing to persist a record without stats")
+	}
+	var fp uint64
+	if _, err := fmt.Sscanf(rec.Fingerprint, "%016x", &fp); err != nil {
+		return fmt.Errorf("serve: record fingerprint %q is not a 64-bit hex value", rec.Fingerprint)
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFileBytes(st.path(fp), buf); err != nil {
+		return err
+	}
+	st.puts.Add(1)
+	return nil
+}
+
+// Len counts the records currently on disk (a /metrics gauge; the store has
+// no in-memory index to keep consistent).
+func (st *Store) Len() int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

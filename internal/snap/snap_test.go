@@ -316,6 +316,38 @@ func TestWriteReadFile(t *testing.T) {
 	}
 }
 
+// TestWriteFileBytes: the raw-byte atomic write replaces an existing file in
+// one rename (readers never observe a truncated intermediate) and leaves no
+// temp files behind.
+func TestWriteFileBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	if err := WriteFileBytes(path, []byte("first version, longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("content = %q, want the full replacement", got)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if err := WriteFileBytes(filepath.Join(t.TempDir(), "no/such/dir/x"), []byte("x")); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
 func mustBytes(t *testing.T, w *Writer) []byte {
 	t.Helper()
 	data, err := w.Finish()

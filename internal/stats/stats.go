@@ -95,9 +95,14 @@ func (t *Table) Render() string {
 		sb.WriteString("\n")
 	}
 	line(t.Header)
+	// Separator width = column widths + one 2-space gap between each
+	// adjacent pair (column 0 has no gap before it).
 	total := 0
-	for _, w := range widths {
-		total += w + 2
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
 	}
 	sb.WriteString(strings.Repeat("-", total) + "\n")
 	for _, row := range t.Rows {

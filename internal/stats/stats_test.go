@@ -107,6 +107,18 @@ func TestTableRender(t *testing.T) {
 	if len(alphaLine) != len(bLine) {
 		t.Errorf("misaligned rows:\n%q\n%q", alphaLine, bLine)
 	}
+	// The separator is exactly as wide as the widest data line: column
+	// widths plus one 2-space gap per adjacent pair, with no gap charged
+	// before column 0.
+	var sep string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "-") {
+			sep = l
+		}
+	}
+	if len(sep) != len(bLine) {
+		t.Errorf("separator width %d, want %d (line %q vs %q)", len(sep), len(bLine), sep, bLine)
+	}
 }
 
 func TestTableRenderNoTitle(t *testing.T) {
