@@ -37,8 +37,10 @@ results:
 
 # serve-check runs the ctcpd service suite under the race detector: the
 # exactly-once dedup guarantee (asserted from the outside via /metrics),
-# restart-reuse from the result store, stale-fingerprint resimulation,
-# backpressure, and the shutdown drain.
+# restart-reuse from the result store, journal restart-replay of queued and
+# interrupted jobs, failed-fingerprint retry, tenant auth/quota/rate limits,
+# fair-share dispatch, the progress event stream, job retention,
+# stale-fingerprint resimulation, backpressure, and the shutdown drain.
 serve-check:
 	$(GO) test -race -count=1 ./internal/serve/
 

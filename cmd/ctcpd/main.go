@@ -6,18 +6,25 @@
 //	ctcpd -serve -addr :8321 -store results/          # start the service
 //	ctcpd -serve ... -ckpt-dir ckpts/                 # allow checkpointed jobs;
 //	                                                  # shutdown drains losslessly
+//	ctcpd -serve ... -keys keys.txt -rate 10 -quota 8 # multi-tenant intake
 //	ctcpd -submit -bm gzip -config fdrt               # submit one job
 //	ctcpd -submit ... -timeout 2m                     # ...and wait for the result
+//	ctcpd -batch sweep.json                           # submit a whole sweep
 //	ctcpd -wait job-3                                 # wait for an earlier job
+//	ctcpd -watch job-3                                # stream its progress events
 //
 // A submitted job is identified by its run fingerprint (benchmark + full
 // config + budget + mode): duplicates join the in-flight job, repeats are
 // answered from the server's result store — across restarts — without
-// resimulating. SIGINT/SIGTERM drain the server: in-flight checkpointed runs
-// stop at the next segment boundary and resume bit-exactly on restart.
+// resimulating. Acceptances are journaled, so jobs queued (or interrupted)
+// at shutdown are replayed by the next start on the same -store/-journal.
+// SIGINT/SIGTERM drain the server: in-flight checkpointed runs stop at the
+// next segment boundary and resume bit-exactly on restart. Against a keyed
+// server, pass -key (sent as X-API-Key) with every client verb.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -39,15 +46,26 @@ import (
 type cliOptions struct {
 	serveMode bool
 	submit    bool
+	batchPath string
 	waitID    string
+	watchID   string
 	addr      string
 
 	// -serve
 	storeDir string
 	ckptDir  string
+	journal  string
+	keysPath string
+	rate     float64
+	burst    float64
+	quota    int
+	retain   int
 	workers  int
 	queue    int
 	drain    time.Duration
+
+	// client verbs
+	key string
 
 	// -submit
 	bm             string
@@ -65,13 +83,13 @@ type cliOptions struct {
 
 func (o *cliOptions) validate() error {
 	modes := 0
-	for _, on := range []bool{o.serveMode, o.submit, o.waitID != ""} {
+	for _, on := range []bool{o.serveMode, o.submit, o.batchPath != "", o.waitID != "", o.watchID != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return fmt.Errorf("exactly one of -serve, -submit, -wait is required")
+		return fmt.Errorf("exactly one of -serve, -submit, -batch, -wait, -watch is required")
 	}
 	if o.serveMode && o.storeDir == "" {
 		return fmt.Errorf("-serve requires -store <dir>")
@@ -86,13 +104,22 @@ func main() {
 	var o cliOptions
 	flag.BoolVar(&o.serveMode, "serve", false, "run the simulation service")
 	flag.BoolVar(&o.submit, "submit", false, "submit one job to a running service")
+	flag.StringVar(&o.batchPath, "batch", "", "submit a batch: JSON file of requests (\"-\" = stdin)")
 	flag.StringVar(&o.waitID, "wait", "", "wait for the given job ID to finish and print its result")
-	flag.StringVar(&o.addr, "addr", "localhost:8321", "listen address (-serve) or server address (-submit/-wait)")
+	flag.StringVar(&o.watchID, "watch", "", "stream the given job's progress events until it finishes")
+	flag.StringVar(&o.addr, "addr", "localhost:8321", "listen address (-serve) or server address (client verbs)")
 	flag.StringVar(&o.storeDir, "store", "", "result-store directory (required with -serve)")
 	flag.StringVar(&o.ckptDir, "ckpt-dir", "", "checkpoint directory: enables checkpointed jobs and lossless shutdown")
+	flag.StringVar(&o.journal, "journal", "", "durable queue journal path (default <store>/queue.journal)")
+	flag.StringVar(&o.keysPath, "keys", "", "API key file: \"<key> <tenant> [quota=N] [rate=R] [burst=B]\" per line; enables auth")
+	flag.Float64Var(&o.rate, "rate", 0, "default per-tenant submissions/second (0 = unlimited)")
+	flag.Float64Var(&o.burst, "burst", 0, "default per-tenant token-bucket burst (0 = max(rate,1))")
+	flag.IntVar(&o.quota, "quota", 0, "default per-tenant queued+running job bound (0 = unbounded)")
+	flag.IntVar(&o.retain, "retain", 0, "terminal jobs kept listable in memory (0 = 512); results persist in the store")
 	flag.IntVar(&o.workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queue, "queue", 0, "accepted-but-not-running job bound; overflow is rejected with 429 (0 = 64)")
 	flag.DurationVar(&o.drain, "drain", 60*time.Second, "shutdown drain budget for in-flight simulations")
+	flag.StringVar(&o.key, "key", "", "API key sent with client verbs (X-API-Key)")
 	flag.StringVar(&o.bm, "bm", "", "benchmark name to submit")
 	flag.StringVar(&o.config, "config", "", "strategy configuration name to submit")
 	flag.Uint64Var(&o.insts, "insts", 0, "committed instruction budget (0 = server default)")
@@ -116,20 +143,31 @@ func run(o *cliOptions) int {
 		return runServe(o)
 	case o.submit:
 		return runSubmit(o)
+	case o.batchPath != "":
+		return runBatch(o)
+	case o.watchID != "":
+		return runWatch(o, o.watchID)
 	default:
 		return runWait(o, o.waitID)
 	}
 }
 
 // runServe hosts the service until SIGINT/SIGTERM, then drains: the HTTP
-// front end stops accepting, queued jobs resolve as interrupted, and
-// in-flight checkpointed runs stop at their next segment boundary with the
-// newest checkpoint on disk.
+// front end stops accepting, queued jobs resolve as interrupted (their
+// journal entries survive for the next start to replay), and in-flight
+// checkpointed runs stop at their next segment boundary with the newest
+// checkpoint on disk.
 func runServe(o *cliOptions) int {
 	logger := log.New(os.Stderr, "ctcpd: ", log.LstdFlags)
 	s, err := serve.New(serve.Config{
 		Store:         o.storeDir,
 		CheckpointDir: o.ckptDir,
+		Journal:       o.journal,
+		Keys:          o.keysPath,
+		TenantRate:    o.rate,
+		TenantBurst:   o.burst,
+		TenantQuota:   o.quota,
+		RetainJobs:    o.retain,
 		QueueDepth:    o.queue,
 		Workers:       o.workers,
 		DefaultBudget: o.insts,
@@ -193,6 +231,21 @@ func baseURL(addr string) string {
 	return "http://" + addr
 }
 
+// do issues one API call, attaching -key when set.
+func do(o *cliOptions, method, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if o.key != "" {
+		req.Header.Set("X-API-Key", o.key)
+	}
+	return http.DefaultClient.Do(req)
+}
+
 func runSubmit(o *cliOptions) int {
 	body, err := json.Marshal(serve.Request{
 		Benchmark:       o.bm,
@@ -208,7 +261,7 @@ func runSubmit(o *cliOptions) int {
 		fmt.Fprintf(os.Stderr, "ctcpd: %v\n", err)
 		return 1
 	}
-	resp, err := http.Post(baseURL(o.addr)+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := do(o, http.MethodPost, baseURL(o.addr)+"/api/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctcpd: submit: %v\n", err)
 		return 1
@@ -236,6 +289,110 @@ func runSubmit(o *cliOptions) int {
 	return runWait(o, j.ID)
 }
 
+// runBatch submits a whole sweep in one request. The input file (or stdin
+// with "-") is a JSON array of request objects — the same shape -submit
+// builds — and the per-row outcomes print as JSON on stdout. The exit code
+// is 0 only if every row was accepted or answered.
+func runBatch(o *cliOptions) int {
+	var raw []byte
+	var err error
+	if o.batchPath == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(o.batchPath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: batch: %v\n", err)
+		return 1
+	}
+	var reqs []serve.Request
+	if err := json.Unmarshal(raw, &reqs); err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: batch: decoding %s: %v\n", o.batchPath, err)
+		return 1
+	}
+	body, err := json.Marshal(map[string]any{"jobs": reqs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: batch: %v\n", err)
+		return 1
+	}
+	resp, err := do(o, http.MethodPost, baseURL(o.addr)+"/api/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: batch: %v\n", err)
+		return 1
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: reading response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "ctcpd: batch rejected (%s): %s\n", resp.Status, strings.TrimSpace(string(out)))
+		return 1
+	}
+	fmt.Printf("%s\n", out)
+	var parsed struct {
+		Jobs []struct {
+			ID    string `json:"id"`
+			Code  int    `json:"code"`
+			Error string `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: decoding response: %v\n", err)
+		return 1
+	}
+	code := 0
+	for i, item := range parsed.Jobs {
+		if item.Error != "" {
+			fmt.Fprintf(os.Stderr, "ctcpd: batch row %d rejected (%d): %s\n", i, item.Code, item.Error)
+			code = 1
+		}
+	}
+	return code
+}
+
+// runWatch streams a job's server-sent events to stdout, one JSON object
+// per line, until the job reaches a terminal status.
+func runWatch(o *cliOptions, id string) int {
+	resp, err := do(o, http.MethodGet, baseURL(o.addr)+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: watch: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "ctcpd: watch (%s): %s\n", resp.Status, strings.TrimSpace(string(raw)))
+		return 1
+	}
+	code := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // "event:" lines and blank separators
+		}
+		fmt.Println(data)
+		var ev struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal([]byte(data), &ev) == nil && terminal(ev.Type) {
+			if ev.Type != serve.StatusDone {
+				code = 1
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ctcpd: watch: %v\n", err)
+		return 1
+	}
+	return code
+}
+
 // runWait long-polls a job until it reaches a terminal status (or -timeout
 // elapses) and prints the final job JSON on stdout.
 func runWait(o *cliOptions, id string) int {
@@ -245,7 +402,7 @@ func runWait(o *cliOptions, id string) int {
 	}
 	url := baseURL(o.addr) + "/api/v1/jobs/" + id + "?wait=10s"
 	for {
-		resp, err := http.Get(url)
+		resp, err := do(o, http.MethodGet, url, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ctcpd: wait: %v\n", err)
 			return 1

@@ -48,6 +48,12 @@ const (
 	RunDeduped
 	// RunCached: a caller was satisfied from the completed-run cache.
 	RunCached
+	// RunSegment: a checkpointed run finished one segment and persisted its
+	// checkpoint; Done/Total carry committed instructions out of the budget.
+	RunSegment
+	// RunRegion: a sampled run completed one detailed region window;
+	// Done/Total count regions.
+	RunRegion
 )
 
 // String returns the event name used in -v logs.
@@ -63,6 +69,10 @@ func (k ProgressKind) String() string {
 		return "dedup"
 	case RunCached:
 		return "hit"
+	case RunSegment:
+		return "segment"
+	case RunRegion:
+		return "region"
 	}
 	return "unknown"
 }
@@ -74,6 +84,9 @@ type ProgressEvent struct {
 	Key  string        // "benchmark/config"
 	Wall time.Duration // simulation wall time (RunCompleted, RunFailed)
 	Err  error         // the failure (RunFailed)
+	// Done/Total report intra-run progress: instructions out of the budget
+	// (RunSegment) or completed regions out of the schedule (RunRegion).
+	Done, Total uint64
 }
 
 // Options configures a Runner.
@@ -107,6 +120,13 @@ type Options struct {
 	// uninterrupted segmented run.
 	CheckpointDir   string
 	CheckpointEvery uint64
+
+	// RunFn, when non-nil, replaces the cycle-accurate simulation call for
+	// full-detail (monolithic) runs. It exists for tests and fault-injection
+	// drills — a service can stand in a failing or blocking simulation
+	// without touching the model — and is excluded from RunFingerprint, so
+	// production servers must leave it nil.
+	RunFn func(prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error)
 
 	// Interrupt, when non-nil, requests cooperative cancellation: a run that
 	// has not started yet, or a checkpointed run between two segments,
@@ -179,12 +199,16 @@ func NewRunner(opts Options) *Runner {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		opts:  opts,
 		cache: make(map[string]*runEntry),
 		sem:   make(chan struct{}, opts.Parallelism),
 		runFn: pipeline.RunProgramErr,
 	}
+	if opts.RunFn != nil {
+		r.runFn = opts.RunFn
+	}
+	return r
 }
 
 // Budget returns the per-run instruction budget.
@@ -330,6 +354,26 @@ func (r *Runner) RunErr(bm workload.Benchmark, cfgKey string, cfg pipeline.Confi
 	return e.stats, e.err
 }
 
+// Forget drops the memoized entry for bm/cfgKey if its run has finished. A
+// run that failed (or was interrupted) stays recorded per key forever
+// otherwise, which is right for one-shot sweeps — the failure belongs in
+// the report — but wrong for a long-lived service retrying a transiently
+// failed fingerprint: without Forget, the retry would be answered with the
+// recorded failure instead of a fresh simulation. In-flight entries are
+// left alone (their leader still owns the cell).
+func (r *Runner) Forget(bm workload.Benchmark, cfgKey string) {
+	key := bm.Name + "/" + cfgKey
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.cache[key]; ok {
+		select {
+		case <-e.done:
+			delete(r.cache, key)
+		default:
+		}
+	}
+}
+
 // simulate executes one run, holding a semaphore slot only around the
 // cycle-level model: program generation is memoized and cheap, so it must
 // not occupy a simulation slot. The key names the run's checkpoint files
@@ -357,7 +401,7 @@ func (r *Runner) simulate(key string, bm workload.Benchmark, cfg pipeline.Config
 	case r.opts.CheckpointDir != "":
 		return r.runCheckpointed(key, r.Fingerprint(bm, cfg), prog, cfg)
 	case r.opts.SampleInterval != 0:
-		return r.runSampled(prog, cfg)
+		return r.runSampled(key, prog, cfg)
 	default:
 		cfg.MaxInsts = r.opts.Budget
 		return r.runFn(prog, cfg)
@@ -368,13 +412,17 @@ func (r *Runner) simulate(key string, bm workload.Benchmark, cfg pipeline.Config
 // The returned Stats carries the whole-run estimate in Cycles/Retired
 // (so IPC and speedup math work unchanged); the remaining counters sum
 // over the instructions simulated in detail only.
-func (r *Runner) runSampled(prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
+func (r *Runner) runSampled(key string, prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error) {
 	res, err := sample.Run(prog, cfg, sample.Options{
 		Interval: r.opts.SampleInterval,
 		Detail:   r.opts.SampleDetail,
 		Warmup:   r.opts.SampleWarmup,
 		Workers:  r.opts.SampleWorkers,
 		MaxInsts: r.opts.Budget,
+		OnRegion: func(done, total int) {
+			r.emit(ProgressEvent{Kind: RunRegion, Key: key,
+				Done: uint64(done), Total: uint64(total)})
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -485,6 +533,9 @@ func (r *Runner) runCheckpointed(key string, fp uint64, prog *isa.Program, cfg p
 		if err := snap.WriteFile(ckptPath, w); err != nil {
 			return nil, fmt.Errorf("writing checkpoint %s: %w", ckptPath, err)
 		}
+		// The segment's checkpoint is durable: announce the boundary so
+		// services can stream intra-run progress to their clients.
+		r.emit(ProgressEvent{Kind: RunSegment, Key: key, Done: p.Consumed(), Total: budget})
 	}
 	s := p.Finish()
 	buf, err := json.Marshal(journal{Fingerprint: fpHex, Key: key, Budget: budget, Stats: s})

@@ -20,6 +20,7 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ctcp/internal/emu"
 	"ctcp/internal/isa"
@@ -51,6 +52,12 @@ type Options struct {
 	Workers int
 	// MaxInsts is the total instruction budget to cover. Required.
 	MaxInsts uint64
+	// OnRegion, when non-nil, is called once per completed detailed window
+	// with the number of regions finished so far and the schedule total. It
+	// fires from worker goroutines (concurrently, completion order) and must
+	// be safe for concurrent use; the merged Result stays deterministic
+	// regardless.
+	OnRegion func(done, total int)
 }
 
 // Region is one detailed window's measurement.
@@ -160,6 +167,7 @@ func Run(prog *isa.Program, cfg pipeline.Config, opts Options) (*Result, error) 
 	errs := make([]error, len(starts))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var completed atomic.Int64
 	if workers > len(starts) {
 		workers = len(starts)
 	}
@@ -178,6 +186,9 @@ func Run(prog *isa.Program, cfg pipeline.Config, opts Options) (*Result, error) 
 				}
 				regions[idx], stats[idx], errs[idx] = runRegion(prog, cfg, starts[idx].ckpt, starts[idx].start, starts[idx].span, det, warm)
 				regions[idx].Index = idx
+				if opts.OnRegion != nil {
+					opts.OnRegion(int(completed.Add(1)), len(starts))
+				}
 			}
 		}()
 	}

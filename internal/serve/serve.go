@@ -4,9 +4,22 @@
 // concurrent duplicates join the in-flight job, repeats are answered from a
 // content-addressed result store keyed by the canonical run fingerprint
 // (experiment.RunFingerprint) — and exposes its counters in Prometheus text
-// form on /metrics. Shutdown drains in-flight simulations cooperatively:
-// checkpoint-mode runs stop at the next segment boundary with their newest
-// checkpoint already on disk, so a restarted server resumes them bit-exactly.
+// form on /metrics.
+//
+// The job lifecycle is crash-durable: every acceptance is journaled
+// (append-on-accept, tombstone-on-terminal, compact-on-restart, all through
+// internal/snap's torn-write-free disciplines), so a restarted server
+// replays queued and interrupted jobs instead of losing them, while
+// completed fingerprints answer from the store with zero resimulation.
+// Intake is multi-tenant: per-tenant API keys, token-bucket rate limits and
+// queue quotas, with fair-share (round-robin) dispatch across tenants'
+// queues so one tenant's sweep cannot starve another. Progress streams:
+// every job exposes an event feed (queued/running, per-segment and
+// per-region ticks, terminal) over a server-sent-events endpoint.
+//
+// Shutdown drains in-flight simulations cooperatively: checkpoint-mode runs
+// stop at the next segment boundary with their newest checkpoint already on
+// disk, so a restarted server resumes them bit-exactly.
 package serve
 
 import (
@@ -16,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -23,6 +37,7 @@ import (
 	"time"
 
 	"ctcp/internal/experiment"
+	"ctcp/internal/isa"
 	"ctcp/internal/pipeline"
 	"ctcp/internal/workload"
 )
@@ -34,6 +49,23 @@ type Config struct {
 	// CheckpointDir, when set, lets jobs request checkpoint-segmented runs;
 	// it is also what makes shutdown lossless for long simulations.
 	CheckpointDir string
+	// Journal is the durable queue journal path ("" = <Store>/queue.journal).
+	// Every accepted job is journaled before the client sees 202; a restart
+	// over the same journal replays outstanding jobs automatically.
+	Journal string
+	// Keys is a static API key file ("<key> <tenant> [quota=N] [rate=R]
+	// [burst=B]" per line). When set, every /api request must present a
+	// known key; when empty the server is open and all traffic shares the
+	// default tenant.
+	Keys string
+	// TenantRate/TenantBurst are the default per-tenant token-bucket
+	// submission limits (accepted submissions per second, bucket size).
+	// Rate 0 = unlimited. The key file can override both per tenant.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantQuota bounds one tenant's queued+running jobs (0 = unbounded
+	// beyond the global QueueDepth; overridable per tenant in the key file).
+	TenantQuota int
 	// QueueDepth bounds the number of accepted-but-not-running jobs
 	// (0 = 64). A full queue rejects submissions with 429 rather than
 	// accepting unbounded work.
@@ -43,6 +75,15 @@ type Config struct {
 	// DefaultBudget is applied to requests that omit a budget
 	// (0 = experiment.DefaultBudget).
 	DefaultBudget uint64
+	// RetainJobs bounds the terminal jobs kept in memory (0 = 512). Evicted
+	// jobs disappear from /api/v1/jobs, but their results stay addressable
+	// forever via /api/v1/results/{fp} — the store is the system of record.
+	RetainJobs int
+	// MaxRunners bounds the pooled runners (and their memo caches) kept
+	// alive (0 = 8): idle runners beyond the cap are evicted LRU-first, so
+	// sustained traffic over many option profiles cannot grow memory
+	// without bound.
+	MaxRunners int
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +140,7 @@ type Job struct {
 	Request     Request
 
 	seq    int
+	tenant *tenant
 	bm     workload.Benchmark
 	cfg    pipeline.Config
 	opts   experiment.Options
@@ -109,12 +151,16 @@ type Job struct {
 	queued time.Time
 	begun  time.Time
 	done   chan struct{}
+
+	events []Event
+	subs   map[chan Event]struct{}
 }
 
 // jobView is the JSON shape of a job in every API response.
 type jobView struct {
 	ID          string          `json:"id"`
 	Fingerprint string          `json:"fingerprint"`
+	Tenant      string          `json:"tenant"`
 	Benchmark   string          `json:"benchmark"`
 	Config      string          `json:"config"`
 	Budget      uint64          `json:"budget"`
@@ -125,31 +171,56 @@ type jobView struct {
 	Stats       *pipeline.Stats `json:"stats,omitempty"`
 }
 
+// pooledRunner wraps one experiment.Runner in the server's pool with the
+// bookkeeping the idle-eviction policy needs.
+type pooledRunner struct {
+	profile string
+	r       *experiment.Runner
+	active  int // jobs currently inside RunErr
+	lastUse time.Time
+}
+
 // Server is the ctcpd HTTP handler plus its worker pool. Create with New,
 // serve with net/http, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	store *Store
-	mux   *http.ServeMux
+	cfg     Config
+	store   *Store
+	journal *jobJournal
+	mux     *http.ServeMux
 
-	queue     chan *Job
 	interrupt chan struct{}
 	wg        sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	seq     int
-	jobs    map[string]*Job // by ID
-	byFP    map[string]*Job // by fingerprint: the service-level dedup index
-	runners map[string]*experiment.Runner
+	mu           sync.Mutex
+	cond         *sync.Cond // pending work / shutdown, guarded by mu
+	closed       bool
+	authRequired bool
+	seq          int
+	jobs         map[string]*Job // by ID
+	byFP         map[string]*Job // by fingerprint: the service-level dedup index
+	runners      map[string]*pooledRunner
+	runnerBase   experiment.RunnerStats // counters of evicted runners (keeps /metrics monotonic)
+	tenants      map[string]*tenant     // by name (always includes DefaultTenant)
+	keys         map[string]*tenant     // by API key
+	rr           []string               // fair-share round-robin order (sorted tenant names)
+	rrNext       int
+	pending      int             // reserved or queued, not yet running (the 429 bound)
+	terminal     []*Job          // terminal jobs in completion order (retention ring)
+	progress     map[string]*Job // (runner profile, run key) -> running job
 
-	submitted, completed, failed, interrupted, rejected, storeHits uint64
-	queueWait, simWall                                             time.Duration
-	queueWaitN, simN                                               uint64
+	// testRunFn, when set before the first submission, replaces the
+	// simulation call on every pooled runner (fault injection in tests).
+	testRunFn func(prog *isa.Program, cfg pipeline.Config) (*pipeline.Stats, error)
+
+	submitted, completed, failed, interrupted, rejected uint64
+	throttled, unauthorized, storeHits                  uint64
+	queueWait, simWall                                  time.Duration
+	queueWaitN, simN                                    uint64
+	queueHist, simHist                                  histogram
 }
 
-// New builds a Server, opens (or creates) its result store, and starts its
-// worker pool.
+// New builds a Server, opens (or creates) its result store, replays the
+// queue journal, and starts its worker pool.
 func New(cfg Config) (*Server, error) {
 	store, err := OpenStore(cfg.Store)
 	if err != nil {
@@ -169,23 +240,54 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultBudget == 0 {
 		cfg.DefaultBudget = experiment.DefaultBudget
 	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 512
+	}
+	if cfg.MaxRunners <= 0 {
+		cfg.MaxRunners = 8
+	}
+	if cfg.Journal == "" {
+		cfg.Journal = filepath.Join(cfg.Store, "queue.journal")
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     store,
-		queue:     make(chan *Job, cfg.QueueDepth),
+		journal:   &jobJournal{path: cfg.Journal},
 		interrupt: make(chan struct{}),
 		jobs:      make(map[string]*Job),
 		byFP:      make(map[string]*Job),
-		runners:   make(map[string]*experiment.Runner),
+		runners:   make(map[string]*pooledRunner),
+		tenants:   make(map[string]*tenant),
+		keys:      make(map[string]*tenant),
+		progress:  make(map[string]*Job),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	s.tenants[DefaultTenant] = cfg.newTenant(DefaultTenant, "")
+	if cfg.Keys != "" {
+		byKey, byName, err := loadKeyFile(&cfg, cfg.Keys)
+		if err != nil {
+			return nil, err
+		}
+		s.keys = byKey
+		for name, tn := range byName { //ctcp:lint-ok maporder -- map-to-map copy; order-insensitive
+			s.tenants[name] = tn
+		}
+		s.authRequired = true
+	}
+	s.rr = tenantNames(s.tenants)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/results/{fp}", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -232,16 +334,49 @@ func profileKey(opts experiment.Options) string {
 		opts.CheckpointDir, opts.CheckpointEvery)
 }
 
-// runnerFor returns the pooled runner for a job's options profile, creating
-// it on first use. Caller holds s.mu.
-func (s *Server) runnerFor(opts experiment.Options) *experiment.Runner {
-	key := profileKey(opts)
-	r, ok := s.runners[key]
+// runnerForLocked returns the pooled runner for a job's options profile,
+// creating it on first use, and marks it active. Caller holds s.mu.
+func (s *Server) runnerForLocked(opts experiment.Options) *pooledRunner {
+	profile := profileKey(opts)
+	pr, ok := s.runners[profile]
 	if !ok {
-		r = experiment.NewRunner(opts)
-		s.runners[key] = r
+		ropts := opts
+		ropts.Progress = func(ev experiment.ProgressEvent) { s.routeProgress(profile, ev) }
+		ropts.RunFn = s.testRunFn
+		pr = &pooledRunner{profile: profile, r: experiment.NewRunner(ropts)}
+		s.runners[profile] = pr
 	}
-	return r
+	pr.active++
+	pr.lastUse = time.Now()
+	return pr
+}
+
+// releaseRunnerLocked returns a runner to the idle pool and evicts
+// least-recently-used idle runners beyond the configured cap. Evicted
+// runners fold their counters into runnerBase so /metrics stays monotonic;
+// their memo caches are dropped — the result store still answers repeats.
+// Caller holds s.mu.
+func (s *Server) releaseRunnerLocked(pr *pooledRunner) {
+	pr.active--
+	pr.lastUse = time.Now()
+	for len(s.runners) > s.cfg.MaxRunners {
+		var oldest *pooledRunner
+		for _, cand := range s.runners { //ctcp:lint-ok maporder -- LRU min-scan; order-insensitive
+			if cand.active == 0 && (oldest == nil || cand.lastUse.Before(oldest.lastUse)) {
+				oldest = cand
+			}
+		}
+		if oldest == nil {
+			return // every runner is busy; try again on the next release
+		}
+		rs := oldest.r.Stats()
+		s.runnerBase.Started += rs.Started
+		s.runnerBase.Completed += rs.Completed
+		s.runnerBase.Failed += rs.Failed
+		s.runnerBase.Deduped += rs.Deduped
+		s.runnerBase.CacheHits += rs.CacheHits
+		delete(s.runners, oldest.profile)
+	}
 }
 
 // validate resolves a request against the known benchmarks and strategy
@@ -274,11 +409,26 @@ func (s *Server) validate(req Request) (Request, workload.Benchmark, pipeline.Co
 	return req, bm, cfg, nil
 }
 
-// Submit accepts a job (or joins/answers an equivalent one). The returned
-// HTTP status tells the story: 202 for a newly queued simulation, 200 when
-// the request was satisfied by an existing job or the result store, 400 for
-// an invalid request, 429 when the queue is full, 503 when shutting down.
+// Submit accepts a job as the default tenant; HTTP handlers resolve tenants
+// from API keys and go through SubmitAs directly.
 func (s *Server) Submit(req Request) (*Job, int, error) {
+	s.mu.Lock()
+	tn := s.tenants[DefaultTenant]
+	s.mu.Unlock()
+	return s.SubmitAs(req, tn)
+}
+
+// SubmitAs accepts a job for a tenant (or joins/answers an equivalent one).
+// The returned HTTP status tells the story: 202 for a newly accepted (and
+// journaled) simulation, 200 when the request was satisfied by an existing
+// job or the result store, 400 for an invalid request, 429 when throttled or
+// over quota or queue depth, 503 when shutting down.
+//
+// The dedup index is checked-and-reserved under the server mutex, but the
+// result-store read — a disk access — happens outside it: the reservation
+// keeps concurrent duplicates joined to one job while every other handler
+// proceeds unblocked.
+func (s *Server) SubmitAs(req Request, tn *tenant) (*Job, int, error) {
 	req, bm, cfg, err := s.validate(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -288,51 +438,106 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	hex := fpHex(fp)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
 	}
 	// Service-level dedup: an equivalent job (queued, running, or already
-	// terminal) absorbs the submission. This is what guarantees concurrent
-	// duplicate submissions cost one simulation, before the runner's own
-	// singleflight even sees them.
+	// terminal) absorbs the submission — and is deliberately not charged
+	// against the tenant's rate or quota, since it costs no new work.
 	if j, ok := s.byFP[hex]; ok {
+		s.mu.Unlock()
 		return j, http.StatusOK, nil
 	}
-	// Durable dedup: a previous process already simulated this fingerprint.
+	// Admission control, all under one lock: token bucket, tenant quota,
+	// global queue depth.
+	if !tn.allow(time.Now()) {
+		tn.throttled++
+		s.throttled++
+		s.mu.Unlock()
+		return nil, http.StatusTooManyRequests, fmt.Errorf("tenant %s is rate-limited (%.3g/s)", tn.name, tn.rate)
+	}
+	if tn.quota > 0 && tn.active >= tn.quota {
+		tn.rejected++
+		s.rejected++
+		s.mu.Unlock()
+		return nil, http.StatusTooManyRequests, fmt.Errorf("tenant %s is at its quota (%d queued+running jobs)", tn.name, tn.quota)
+	}
+	if s.pending >= s.cfg.QueueDepth {
+		tn.rejected++
+		s.rejected++
+		s.mu.Unlock()
+		return nil, http.StatusTooManyRequests, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
+	}
+	j := s.newJobLocked(req, hex, bm, cfg, opts, tn)
+	s.mu.Unlock()
+
+	// Durable dedup, off the lock: a previous process may already have
+	// simulated this fingerprint.
 	if rec, ok := s.store.Get(fp); ok {
-		j := s.newJobLocked(req, hex, bm, cfg, opts)
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		j.status = StatusDone
 		j.stats = rec.Stats
 		j.cached = true
-		close(j.done)
+		s.pending--
+		tn.active--
+		tn.storeHits++
 		s.storeHits++
+		s.retireLocked(j)
 		s.logf("job %s: %s/%s served from store (%s)", j.ID, req.Benchmark, req.Config, hex)
 		return j, http.StatusOK, nil
 	}
-	j := s.newJobLocked(req, hex, bm, cfg, opts)
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.ID)
-		delete(s.byFP, hex)
-		s.rejected++
-		return nil, http.StatusTooManyRequests, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
+
+	// Make the acceptance durable before the client hears 202: a crash
+	// after this line replays the job instead of losing it.
+	if err := s.journal.append(journalEntry{Op: journalAccept, FP: hex, Tenant: tn.name, Request: &req}); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.pending--
+		tn.active--
+		s.failed++
+		tn.failed++
+		s.retireLocked(j)
+		return nil, http.StatusInternalServerError, err
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Shutdown won the race. The journal entry stays: the restart
+		// replays this acceptance, so the work is delayed, not lost.
+		j.status = StatusInterrupted
+		j.errMsg = experiment.ErrInterrupted.Error()
+		s.pending--
+		tn.active--
+		s.interrupted++
+		tn.interrupted++
+		s.retireLocked(j)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
+	}
+	tn.pending = append(tn.pending, j)
 	s.submitted++
-	s.logf("job %s: queued %s/%s budget=%d mode=%s fp=%s",
-		j.ID, req.Benchmark, req.Config, req.Budget, req.mode(), hex)
+	tn.submitted++
+	s.emitEventLocked(j, Event{Type: StatusQueued})
+	s.cond.Signal()
+	s.logf("job %s: queued %s/%s budget=%d mode=%s fp=%s tenant=%s",
+		j.ID, req.Benchmark, req.Config, req.Budget, req.mode(), hex, tn.name)
 	return j, http.StatusAccepted, nil
 }
 
-// newJobLocked allocates and indexes a job. Caller holds s.mu.
-func (s *Server) newJobLocked(req Request, hex string, bm workload.Benchmark, cfg pipeline.Config, opts experiment.Options) *Job {
+// newJobLocked allocates, indexes, and reserves a job: it occupies a
+// pending slot and a tenant-active slot from this moment. Caller holds s.mu.
+func (s *Server) newJobLocked(req Request, hex string, bm workload.Benchmark, cfg pipeline.Config, opts experiment.Options, tn *tenant) *Job {
 	s.seq++
 	j := &Job{
 		ID:          fmt.Sprintf("job-%d", s.seq),
 		Fingerprint: hex,
 		Request:     req,
 		seq:         s.seq,
+		tenant:      tn,
 		bm:          bm,
 		cfg:         cfg,
 		opts:        opts,
@@ -342,33 +547,123 @@ func (s *Server) newJobLocked(req Request, hex string, bm workload.Benchmark, cf
 	}
 	s.jobs[j.ID] = j
 	s.byFP[hex] = j
+	s.pending++
+	tn.active++
 	return j
 }
 
-// worker consumes the job queue until shutdown.
+// replayJournal rebuilds the queue from the journal at startup: outstanding
+// accepts whose fingerprints the store has already answered are compacted
+// away, the rest re-enter their tenants' queues exactly as fresh
+// submissions would, and the journal is rewritten to the surviving set.
+func (s *Server) replayJournal() error {
+	entries, err := s.journal.load()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	kept := entries[:0]
+	for _, e := range entries {
+		var fp uint64
+		if _, err := fmt.Sscanf(e.FP, "%016x", &fp); err != nil {
+			continue
+		}
+		if _, ok := s.store.Get(fp); ok {
+			continue // completed before the restart: the store answers it
+		}
+		req, bm, cfg, err := s.validate(*e.Request)
+		if err != nil {
+			s.logf("journal: dropping %s: %v", e.FP, err)
+			continue
+		}
+		opts := s.options(req)
+		if hex := fpHex(experiment.RunFingerprint(bm.Name, cfg, opts)); hex != e.FP {
+			s.logf("journal: dropping %s: fingerprint drift (now %s)", e.FP, hex)
+			continue
+		}
+		if _, dup := s.byFP[e.FP]; dup {
+			continue
+		}
+		tn, ok := s.tenants[e.Tenant]
+		if !ok {
+			tn = s.tenants[DefaultTenant]
+		}
+		j := s.newJobLocked(req, e.FP, bm, cfg, opts, tn)
+		tn.pending = append(tn.pending, j)
+		s.submitted++
+		tn.submitted++
+		s.emitEventLocked(j, Event{Type: StatusQueued})
+		s.logf("job %s: replayed %s/%s fp=%s tenant=%s", j.ID, req.Benchmark, req.Config, e.FP, tn.name)
+		e.Request = &req
+		kept = append(kept, e)
+	}
+	s.mu.Unlock()
+	return s.journal.compact(kept)
+}
+
+// worker consumes the tenant queues until shutdown.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.interrupt:
+		j := s.nextJob()
+		if j == nil {
 			return
-		case j := <-s.queue:
-			s.runJob(j)
 		}
+		s.runJob(j)
 	}
 }
 
-// runJob executes one queued job to a terminal status.
+// nextJob blocks until a job is dispatchable (fair-share across tenants) or
+// the server closes.
+func (s *Server) nextJob() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if j := s.dequeueLocked(); j != nil {
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// dequeueLocked pops the next job round-robin across tenants with pending
+// work, so interleaved tenants get interleaved service regardless of how
+// deep any one tenant's backlog is. Caller holds s.mu.
+func (s *Server) dequeueLocked() *Job {
+	n := len(s.rr)
+	for i := 0; i < n; i++ {
+		tn := s.tenants[s.rr[(s.rrNext+i)%n]]
+		if len(tn.pending) == 0 {
+			continue
+		}
+		j := tn.pending[0]
+		tn.pending = tn.pending[1:]
+		s.pending--
+		s.rrNext = (s.rrNext + i + 1) % n
+		return j
+	}
+	return nil
+}
+
+// runJob executes one dequeued job to a terminal status.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.status = StatusRunning
 	j.begun = time.Now()
-	s.queueWait += j.begun.Sub(j.queued)
+	wait := j.begun.Sub(j.queued)
+	s.queueWait += wait
 	s.queueWaitN++
-	r := s.runnerFor(j.opts)
+	s.queueHist.observe(wait.Seconds())
+	pr := s.runnerForLocked(j.opts)
+	key := j.bm.Name + "/" + j.Request.Config
+	s.progress[pr.profile+"\x00"+key] = j
+	s.emitEventLocked(j, Event{Type: StatusRunning})
 	s.mu.Unlock()
 
-	stats, err := r.RunErr(j.bm, j.Request.Config, j.cfg)
+	stats, err := pr.r.RunErr(j.bm, j.Request.Config, j.cfg)
 	wall := time.Since(j.begun)
 
 	if err == nil {
@@ -385,59 +680,113 @@ func (s *Server) runJob(j *Job) {
 			s.logf("job %s: result store write failed: %v", j.ID, perr)
 		}
 	}
+	wasInterrupted := errors.Is(err, experiment.ErrInterrupted)
+	if !wasInterrupted {
+		// Done and failed both settle the acceptance — the submitter got
+		// its answer. Interrupted jobs stay journaled on purpose: their
+		// acceptance is still owed a simulation, and the restart replays it.
+		if jerr := s.journal.append(journalEntry{Op: journalSettle, FP: j.Fingerprint}); jerr != nil {
+			s.logf("job %s: %v", j.ID, jerr)
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.progress, pr.profile+"\x00"+key)
+	s.releaseRunnerLocked(pr)
 	s.simWall += wall
 	s.simN++
+	s.simHist.observe(wall.Seconds())
+	tn := j.tenant
+	tn.active--
 	switch {
 	case err == nil:
 		j.status = StatusDone
 		j.stats = stats
 		s.completed++
+		tn.completed++
 		s.logf("job %s: done in %v", j.ID, wall.Round(time.Millisecond))
-	case errors.Is(err, experiment.ErrInterrupted):
+	case wasInterrupted:
 		j.status = StatusInterrupted
 		j.errMsg = err.Error()
 		s.interrupted++
+		tn.interrupted++
+		// Drop the memoized interruption so a retry (or the journal replay
+		// on restart, which reuses this process's runner pool only in
+		// tests) simulates fresh.
+		pr.r.Forget(j.bm, j.Request.Config)
 		s.logf("job %s: interrupted by shutdown", j.ID)
 	default:
 		j.status = StatusFailed
 		j.errMsg = err.Error()
 		s.failed++
+		tn.failed++
+		// The runner memoizes failures per key; forget this one so a
+		// resubmission of the fingerprint re-runs instead of replaying the
+		// recorded failure.
+		pr.r.Forget(j.bm, j.Request.Config)
 		s.logf("job %s: failed: %v", j.ID, err)
 	}
+	s.retireLocked(j)
+}
+
+// retireLocked finishes a terminal job: it scrubs failed/interrupted
+// fingerprints from the dedup index (the headline poisoning fix — a
+// resubmitted failed fingerprint must re-run, not be answered with the
+// stale terminal job forever), appends the job to the bounded retention
+// ring, evicting the oldest terminal jobs beyond the cap, emits the
+// terminal event, and unblocks waiters. Caller holds s.mu; the caller has
+// already set status/errMsg/stats and bumped its counters.
+func (s *Server) retireLocked(j *Job) {
+	switch j.status {
+	case StatusFailed, StatusInterrupted:
+		if cur, ok := s.byFP[j.Fingerprint]; ok && cur == j {
+			delete(s.byFP, j.Fingerprint)
+		}
+	}
+	s.terminal = append(s.terminal, j)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		old := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		delete(s.jobs, old.ID)
+		if cur, ok := s.byFP[old.Fingerprint]; ok && cur == old {
+			delete(s.byFP, old.Fingerprint)
+		}
+	}
+	s.emitEventLocked(j, Event{Type: j.status, Error: j.errMsg})
 	close(j.done)
 }
 
 // Shutdown stops intake, interrupts queued and in-flight simulations, and
 // waits (up to ctx) for the workers to drain. Checkpoint-mode runs stop at
 // their next segment boundary with the newest checkpoint already persisted,
-// so nothing beyond one segment of work is lost.
+// so nothing beyond one segment of work is lost — and because queued and
+// interrupted jobs stay in the journal, a restart replays them to
+// completion rather than forgetting them.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		close(s.interrupt)
+		s.cond.Broadcast()
 	}
-	s.mu.Unlock()
-	// Jobs still sitting in the queue will never be picked up (workers exit
-	// on interrupt); resolve them so waiters unblock. Workers racing this
-	// drain are harmless — whichever side receives the job marks it.
-	for {
-		select {
-		case j := <-s.queue:
-			s.mu.Lock()
+	// Jobs still sitting in tenant queues will never be picked up (workers
+	// exit on closed); resolve them so waiters unblock. Their journal
+	// entries remain un-settled, so a restart replays them.
+	for _, name := range s.rr {
+		tn := s.tenants[name]
+		for _, j := range tn.pending {
 			j.status = StatusInterrupted
 			j.errMsg = experiment.ErrInterrupted.Error()
+			s.pending--
+			tn.active--
 			s.interrupted++
-			close(j.done)
-			s.mu.Unlock()
-			continue
-		default:
+			tn.interrupted++
+			s.retireLocked(j)
 		}
-		break
+		tn.pending = nil
 	}
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -458,6 +807,7 @@ func (s *Server) view(j *Job) jobView {
 	return jobView{
 		ID:          j.ID,
 		Fingerprint: j.Fingerprint,
+		Tenant:      j.tenant.name,
 		Benchmark:   j.Request.Benchmark,
 		Config:      j.Request.Config,
 		Budget:      j.Request.Budget,
@@ -484,12 +834,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenantFor(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	j, status, err := s.Submit(req)
+	j, status, err := s.SubmitAs(req, tn)
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -497,7 +852,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, s.view(j))
 }
 
+// batchItem is one row of a batch-submit response: the job view (when the
+// row was accepted or joined) plus the per-row status code and error.
+type batchItem struct {
+	jobView
+	Code  int    `json:"code"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleBatch accepts a whole sweep in one request: {"jobs": [Request...]}.
+// Every row goes through the same admission, dedup (index + store), and
+// journaling as a single submission; the response carries one item per row
+// in order, each with its own status code, so partial acceptance is
+// explicit rather than all-or-nothing.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenantFor(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct {
+		Jobs []Request `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no jobs"))
+		return
+	}
+	items := make([]batchItem, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		j, code, err := s.SubmitAs(jr, tn)
+		items[i].Code = code
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		items[i].jobView = s.view(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.tenantFor(r); err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
@@ -526,10 +928,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.view(j))
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// handleList lists this process's jobs in submission order. On a keyed
+// server each tenant sees only its own jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenantFor(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
 	s.mu.Lock()
+	filter := s.authRequired
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
+		if filter && j.tenant != tn {
+			continue
+		}
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
@@ -542,6 +955,10 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.tenantFor(r); err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
 	fp, err := strconv.ParseUint(r.PathValue("fp"), 16, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("fingerprint must be a 64-bit hex value"))

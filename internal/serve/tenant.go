@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultTenant is the tenant every request belongs to when the server runs
+// without an API key file (open access), and the tenant journal entries fall
+// back to when their recorded tenant no longer exists at replay time.
+const DefaultTenant = "default"
+
+// tenant is one isolated consumer of the service: its own token-bucket
+// admission rate, queue quota, fair-share FIFO of pending jobs, and metric
+// counters. All fields are guarded by the owning Server's mutex.
+type tenant struct {
+	name string
+	key  string // API key ("" for the open-access default tenant)
+
+	// Token bucket: tokens refill at rate per second up to burst; each
+	// accepted submission spends one. rate 0 = unlimited.
+	rate, burst float64
+	tokens      float64
+	lastRefill  time.Time
+
+	// quota bounds this tenant's queued+running jobs (0 = unbounded).
+	quota  int
+	active int
+
+	// pending is the tenant's FIFO of accepted-but-not-running jobs; the
+	// dispatcher round-robins across tenants' FIFOs so one tenant's sweep
+	// cannot starve another.
+	pending []*Job
+
+	submitted, completed, failed, interrupted uint64
+	rejected, throttled, storeHits            uint64
+}
+
+// allow spends one token if the bucket has it, refilling for elapsed time
+// first. Caller holds s.mu.
+func (tn *tenant) allow(now time.Time) bool {
+	if tn.rate <= 0 {
+		return true
+	}
+	if !tn.lastRefill.IsZero() {
+		tn.tokens += now.Sub(tn.lastRefill).Seconds() * tn.rate
+	}
+	tn.lastRefill = now
+	if tn.tokens > tn.burst {
+		tn.tokens = tn.burst
+	}
+	if tn.tokens < 1 {
+		return false
+	}
+	tn.tokens--
+	return true
+}
+
+// newTenant builds a tenant with the server's default limits applied.
+func (cfg *Config) newTenant(name, key string) *tenant {
+	burst := cfg.TenantBurst
+	if burst <= 0 {
+		burst = cfg.TenantRate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tenant{
+		name:   name,
+		key:    key,
+		rate:   cfg.TenantRate,
+		burst:  burst,
+		tokens: burst,
+		quota:  cfg.TenantQuota,
+	}
+}
+
+// loadKeyFile parses a static API key file into tenants. Each non-comment
+// line is
+//
+//	<key> <tenant-name> [quota=N] [rate=R] [burst=B]
+//
+// whitespace-separated; '#' starts a comment. The optional k=v fields
+// override the server-wide tenant defaults for that tenant. Keys and tenant
+// names must both be unique.
+func loadKeyFile(cfg *Config, path string) (byKey map[string]*tenant, byName map[string]*tenant, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening key file: %w", err)
+	}
+	defer f.Close()
+	byKey = make(map[string]*tenant)
+	byName = make(map[string]*tenant)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("serve: %s:%d: want \"<key> <tenant> [k=v...]\"", path, lineNo)
+		}
+		key, name := fields[0], fields[1]
+		if _, dup := byKey[key]; dup {
+			return nil, nil, fmt.Errorf("serve: %s:%d: duplicate API key", path, lineNo)
+		}
+		if _, dup := byName[name]; dup {
+			return nil, nil, fmt.Errorf("serve: %s:%d: duplicate tenant %q", path, lineNo, name)
+		}
+		tn := cfg.newTenant(name, key)
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("serve: %s:%d: bad field %q (want k=v)", path, lineNo, kv)
+			}
+			switch k {
+			case "quota":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, nil, fmt.Errorf("serve: %s:%d: quota: %w", path, lineNo, err)
+				}
+				tn.quota = n
+			case "rate":
+				r, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("serve: %s:%d: rate: %w", path, lineNo, err)
+				}
+				tn.rate = r
+			case "burst":
+				b, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("serve: %s:%d: burst: %w", path, lineNo, err)
+				}
+				tn.burst, tn.tokens = b, b
+			default:
+				return nil, nil, fmt.Errorf("serve: %s:%d: unknown field %q", path, lineNo, k)
+			}
+		}
+		if tn.rate > 0 && tn.burst < 1 {
+			tn.burst, tn.tokens = 1, 1
+		}
+		byKey[key] = tn
+		byName[name] = tn
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("serve: reading key file: %w", err)
+	}
+	if len(byKey) == 0 {
+		return nil, nil, fmt.Errorf("serve: key file %s defines no tenants", path)
+	}
+	return byKey, byName, nil
+}
+
+// apiKey extracts the request's API key from X-API-Key or a bearer token.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(auth, "Bearer "))
+	}
+	return ""
+}
+
+// tenantFor authenticates an API request. Open-access servers (no key file)
+// map every request to the default tenant; keyed servers reject missing or
+// unknown keys.
+func (s *Server) tenantFor(r *http.Request) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.authRequired {
+		return s.tenants[DefaultTenant], nil
+	}
+	tn, ok := s.keys[apiKey(r)]
+	if !ok {
+		s.unauthorized++
+		return nil, fmt.Errorf("missing or unknown API key")
+	}
+	return tn, nil
+}
+
+// tenantNames returns every tenant name, sorted, for deterministic
+// iteration (dispatch order, metrics rendering, shutdown drains).
+func tenantNames(tenants map[string]*tenant) []string {
+	names := make([]string, 0, len(tenants))
+	for name := range tenants { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
