@@ -1,10 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench results serve-check
+.PHONY: check build vet lint test race bench results serve-check conformance fuzz-smoke
 
 # check is the CI gate: compile everything, vet, run the module's own static
 # analysis suite (cmd/ctcplint), then the full test suite under the race
-# detector (the runner stress tests exercise it meaningfully).
+# detector (the runner stress tests exercise it meaningfully). The
+# conformance corpus runs inside `race` already (it is a normal test
+# package); `conformance` exists as a focused re-run, and `fuzz-smoke` is
+# deliberately NOT part of check — a timed fuzz run is too slow and too
+# nondeterministic for the commit gate, so CI runs it as its own job.
 check: build vet lint race
 
 build:
@@ -43,6 +47,22 @@ results:
 # stale-fingerprint resimulation, backpressure, and the shutdown drain.
 serve-check:
 	$(GO) test -race -count=1 ./internal/serve/
+
+# conformance runs the ISA conformance corpus under the race detector: every
+# corpus program against its golden architectural result, emulator/pipeline
+# retirement agreement under all strategies, opcode coverage, and the
+# mutation-engine invariants. Golden updates: go test ./internal/conformance
+# -run TestCorpusGolden -update (commit the numeric diff with its cause).
+conformance:
+	$(GO) test -race -count=1 ./internal/conformance/
+
+# fuzz-smoke is the short differential-fuzz pass CI runs on every push: 30s
+# of emulator-vs-timing-model cross-checking over mutated corpus programs,
+# plus 10s of assembler roundtrip fuzzing. Divergence repros land in
+# $$CTCP_REPRO_DIR (default: $$TMPDIR/ctcp-divergence) as replayable .s files.
+fuzz-smoke:
+	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzDifferential -fuzztime 30s
+	$(GO) test ./internal/asm/ -run '^$$' -fuzz FuzzAssembleRoundtrip -fuzztime 10s
 
 # bench runs the cycle-model microbenchmarks, then regenerates
 # BENCH_pipeline.json (current throughput next to the frozen pre-optimization

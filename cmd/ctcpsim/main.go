@@ -1,11 +1,18 @@
 // Command ctcpsim runs one benchmark through the clustered trace cache
-// processor model and prints a statistics summary.
+// processor model and prints a statistics summary, or manages named
+// save-state slots (mid-flight checkpoints that can be resumed bit-exactly
+// or forked into what-if configurations).
 //
 // Usage:
 //
 //	ctcpsim -list
 //	ctcpsim -bench gzip -strategy fdrt -insts 500000
 //	ctcpsim -bench twolf -strategy issue-time -steer 4 -topology ring -hop 1
+//	ctcpsim -save-slot warm -bench gzip -config fdrt -insts 500000 -save-at 250000
+//	ctcpsim -list-slots
+//	ctcpsim -inspect-slot warm
+//	ctcpsim -resume-slot warm
+//	ctcpsim -fork-slot warm -as warm-hop1 -fork-base fdrt -fork-hop 1
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 
 	"ctcp/internal/cluster"
 	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/experiment"
 	"ctcp/internal/pipeline"
 	"ctcp/internal/workload"
 )
@@ -30,6 +39,11 @@ func strategyNames() string {
 	return strings.Join(names, ", ")
 }
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ctcpsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
@@ -41,6 +55,23 @@ func main() {
 		hop      = flag.Int("hop", 2, "inter-cluster forwarding latency per hop")
 		clusters = flag.Int("clusters", 4, "number of clusters")
 		ptrace   = flag.Int("pipetrace", 0, "print a per-cycle occupancy trace of the first N active cycles")
+
+		slotDir  = flag.String("slot-dir", "slots", "directory holding named save-state slots")
+		saveSlot = flag.String("save-slot", "", "run -bench under -config, pause at -save-at, and save into this slot")
+		saveAt   = flag.Uint64("save-at", 0, "committed-instruction boundary to pause and save at (default budget/2)")
+		config   = flag.String("config", "base", "named experiment config for -save-slot (see internal/experiment StrategyConfigs)")
+		listSl   = flag.Bool("list-slots", false, "list saved slots and exit")
+		inspect  = flag.String("inspect-slot", "", "print one slot's metadata and exit")
+		resume   = flag.String("resume-slot", "", "restore this slot and run it to completion")
+		forkSlot = flag.String("fork-slot", "", "fork this slot into -as under a what-if config delta")
+		forkAs   = flag.String("as", "", "destination slot name for -fork-slot")
+
+		forkBase  = flag.String("fork-base", "", "fork delta: base config name (default: source slot's base)")
+		forkHop   = flag.Int("fork-hop", 0, "fork delta: override inter-cluster hop latency when > 0")
+		forkZAll  = flag.Bool("fork-zero-all", false, "fork delta: zero all forwarding latency")
+		forkZCrit = flag.Bool("fork-zero-crit", false, "fork delta: zero critical-input forwarding latency")
+		forkZIn   = flag.Bool("fork-zero-intra", false, "fork delta: zero intra-trace forwarding latency")
+		forkZOut  = flag.Bool("fork-zero-inter", false, "fork delta: zero inter-trace forwarding latency")
 	)
 	flag.Parse()
 
@@ -61,10 +92,35 @@ func main() {
 		return
 	}
 
+	switch {
+	case *saveSlot != "":
+		runSaveSlot(*slotDir, *saveSlot, *bench, *config, *insts, *saveAt)
+		return
+	case *listSl:
+		runListSlots(*slotDir)
+		return
+	case *inspect != "":
+		runInspectSlot(*slotDir, *inspect)
+		return
+	case *resume != "":
+		runResumeSlot(*slotDir, *resume)
+		return
+	case *forkSlot != "":
+		delta := experiment.SlotConfig{
+			Base:           *forkBase,
+			Hop:            *forkHop,
+			ZeroAllFwd:     *forkZAll,
+			ZeroCritFwd:    *forkZCrit,
+			ZeroIntraTrace: *forkZIn,
+			ZeroInterTrace: *forkZOut,
+		}
+		runForkSlot(*slotDir, *forkSlot, *forkAs, delta)
+		return
+	}
+
 	bm, ok := workload.ByName(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ctcpsim: unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(1)
+		fatalf("unknown benchmark %q (try -list)", *bench)
 	}
 
 	kinds := map[string]core.StrategyKind{}
@@ -73,8 +129,7 @@ func main() {
 	}
 	kind, ok := kinds[*strategy]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ctcpsim: unknown strategy %q (one of: %s)\n", *strategy, strategyNames())
-		os.Exit(1)
+		fatalf("unknown strategy %q (one of: %s)", *strategy, strategyNames())
 	}
 
 	cfg := pipeline.DefaultConfig().WithStrategy(kind, *steer == 0)
@@ -87,8 +142,7 @@ func main() {
 	case "ring":
 		cfg.Geom.Topology = cluster.Ring
 	default:
-		fmt.Fprintf(os.Stderr, "ctcpsim: unknown topology %q\n", *topology)
-		os.Exit(1)
+		fatalf("unknown topology %q", *topology)
 	}
 	cfg.Geom.HopLat = *hop
 	cfg.Geom.Clusters = *clusters
@@ -104,7 +158,11 @@ func main() {
 	for _, line := range s.PipeTrace {
 		fmt.Println(line)
 	}
+	printStats(s, kind)
+}
 
+// printStats renders the summary block shared by plain runs and slot resumes.
+func printStats(s *pipeline.Stats, kind core.StrategyKind) {
 	fmt.Printf("\ncycles               %d\n", s.Cycles)
 	fmt.Printf("retired              %d (IPC %.3f)\n", s.Retired, s.IPC())
 	fmt.Printf("from trace cache     %.1f%%  (avg trace size %.1f, TC hit rate %.1f%%)\n",
@@ -123,4 +181,124 @@ func main() {
 		fmt.Printf("fdrt options         A=%d B=%d C=%d D=%d E=%d skipped=%d\n",
 			s.Fill.OptionA, s.Fill.OptionB, s.Fill.OptionC, s.Fill.OptionD, s.Fill.OptionE, s.Fill.Skipped)
 	}
+}
+
+func openSlots(dir string) *experiment.SlotStore {
+	st, err := experiment.OpenSlots(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return st
+}
+
+// runSaveSlot simulates bench under the named config, pauses at the
+// requested drained boundary, and freezes the run into a named slot.
+func runSaveSlot(dir, name, bench, config string, budget, at uint64) {
+	if at == 0 {
+		at = budget / 2
+	}
+	if at >= budget {
+		fatalf("-save-at %d must be below the budget %d", at, budget)
+	}
+	sc := experiment.SlotConfig{Base: config}
+	cfg, err := sc.Resolve()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bm, ok := workload.ByName(bench)
+	if !ok {
+		fatalf("unknown benchmark %q (try -list)", bench)
+	}
+	cfg.MaxInsts = 0
+	m := emu.New(bm.ProgramFor(budget))
+	p := pipeline.New(&emu.LimitStream{S: m, Budget: budget}, cfg)
+	if p.RunTo(at) {
+		fatalf("stream exhausted at %d committed instructions, before the save point %d", p.Consumed(), at)
+	}
+	st := openSlots(dir)
+	meta, err := st.Save(experiment.SlotMeta{Name: name, Benchmark: bench, Config: sc, Budget: budget}, p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("saved slot %q: %s/%s at %d/%d insts (cycle %d)\n",
+		meta.Name, meta.Benchmark, meta.Config.Base, meta.Consumed, meta.Budget, meta.Cycle)
+	fmt.Printf("fingerprints: run=%s config=%s\n", meta.RunFP, meta.CfgFP)
+}
+
+func slotLine(m experiment.SlotMeta) string {
+	lineage := ""
+	if m.Parent != "" {
+		lineage = " parent=" + m.Parent
+	}
+	return fmt.Sprintf("%-20s %-8s %-12s %9d/%-9d cycle=%-9d seg=%d run=%s cfg=%s%s",
+		m.Name, m.Benchmark, m.Config.Base, m.Consumed, m.Budget, m.Cycle, m.Segments, m.RunFP, m.CfgFP, lineage)
+}
+
+func runListSlots(dir string) {
+	st := openSlots(dir)
+	slots, err := st.List()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(slots) == 0 {
+		fmt.Printf("no slots in %s\n", st.Dir())
+		return
+	}
+	for _, m := range slots {
+		fmt.Println(slotLine(m))
+	}
+}
+
+func runInspectSlot(dir, name string) {
+	st := openSlots(dir)
+	m, err := st.Inspect(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("slot        %s\n", m.Name)
+	fmt.Printf("benchmark   %s\n", m.Benchmark)
+	fmt.Printf("config      base=%s hop=%d zeroAll=%v zeroCrit=%v zeroIntra=%v zeroInter=%v\n",
+		m.Config.Base, m.Config.Hop, m.Config.ZeroAllFwd, m.Config.ZeroCritFwd, m.Config.ZeroIntraTrace, m.Config.ZeroInterTrace)
+	fmt.Printf("progress    %d/%d insts at cycle %d (segment %d)\n", m.Consumed, m.Budget, m.Cycle, m.Segments)
+	if m.Parent != "" {
+		fmt.Printf("parent      %s\n", m.Parent)
+	}
+	fmt.Printf("run fp      %s\n", m.RunFP)
+	fmt.Printf("config fp   %s\n", m.CfgFP)
+}
+
+func runResumeSlot(dir, name string) {
+	st := openSlots(dir)
+	meta, _, p, err := st.Restore(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg, err := meta.Config.Resolve()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("resuming slot %q: %s/%s from %d/%d insts (cycle %d)\n",
+		meta.Name, meta.Benchmark, meta.Config.Base, meta.Consumed, meta.Budget, meta.Cycle)
+	p.RunTo(0)
+	printStats(p.Finish(), cfg.Strategy)
+}
+
+func runForkSlot(dir, src, dst string, delta experiment.SlotConfig) {
+	if dst == "" {
+		fatalf("-fork-slot requires -as DST")
+	}
+	st := openSlots(dir)
+	if delta.Base == "" {
+		srcMeta, err := st.Inspect(src)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		delta.Base = srcMeta.Config.Base
+	}
+	meta, err := st.Fork(src, dst, delta)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("forked %q -> %q at %d/%d insts\n", src, meta.Name, meta.Consumed, meta.Budget)
+	fmt.Println(slotLine(meta))
 }

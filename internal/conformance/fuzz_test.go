@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctcp/internal/asm"
+	"ctcp/internal/core"
+	"ctcp/internal/isa"
+	"ctcp/internal/pipeline"
+)
+
+// fuzzBudget bounds how long the emulator chases a mutant before rejecting
+// it as non-halting. Mutated branches routinely produce infinite loops;
+// rejection keeps fuzz throughput high.
+const fuzzBudget = 30_000
+
+// reproDir returns where divergence repros are written: $CTCP_REPRO_DIR when
+// set (CI points this at a workspace path and uploads it as an artifact),
+// else a stable subdirectory of the system temp dir.
+func reproDir() string {
+	if dir := os.Getenv("CTCP_REPRO_DIR"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "ctcp-divergence")
+}
+
+// writeRepro persists a minimized diverging program as reassemblable source
+// with a header describing how it was derived.
+func writeRepro(t *testing.T, src string, seed uint64, strategy core.StrategyKind, muts []Mutation) string {
+	t.Helper()
+	dir := reproDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("cannot create repro dir %s: %v", dir, err)
+		return ""
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", src, seed)
+	names := make([]string, 0, len(muts))
+	for _, m := range muts {
+		names = append(names, m.String())
+	}
+	header := fmt.Sprintf("; divergence repro: strategy=%v seed=%d mutations=[%s]\n; replay: go test ./internal/conformance -run TestReproDir\n",
+		strategy, seed, strings.Join(names, " "))
+	path := filepath.Join(dir, fmt.Sprintf("divergence-%016x.s", h.Sum64()))
+	if err := os.WriteFile(path, []byte(header+src), 0o644); err != nil {
+		t.Logf("cannot write repro %s: %v", path, err)
+		return ""
+	}
+	return path
+}
+
+// FuzzDifferential mutates corpus programs through the assembler-level
+// mutator and cross-checks the emulator against the timing model. The seed
+// selects both the mutation list and the assignment strategy, so a corpus
+// entry fans out across the whole strategy matrix as the fuzzer explores.
+// Programs the emulator rejects (fault, no halt within budget) are skipped;
+// any divergence is minimized to the smallest still-diverging mutation
+// subset and written to reproDir() as a replayable .s file.
+func FuzzDifferential(f *testing.F) {
+	corpus, err := LoadCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, p := range corpus {
+		f.Add(p.Source, uint64(i))
+		f.Add(p.Source, uint64(0x9e3779b9)+uint64(i)*13)
+	}
+	strategies := core.Strategies()
+	f.Fuzz(func(t *testing.T, src string, seed uint64) {
+		base, err := asm.Assemble(src)
+		if err != nil || len(base.Text) == 0 || len(base.Text) > 4096 {
+			t.Skip()
+		}
+		muts := Mutations(base, seed)
+		mutant := Apply(base, muts)
+		strategy := strategies[int(seed%uint64(len(strategies)))]
+		cfg := pipeline.DefaultConfig().WithStrategy(strategy, seed&(1<<16) != 0)
+		check := func(p2 *isa.Program) error { return Diff(p2, fuzzBudget, cfg) }
+		err = check(mutant)
+		if err == nil {
+			return
+		}
+		if isReject(err) {
+			t.Skip()
+		}
+		minimized := Minimize(base, muts, check)
+		minProg := Apply(base, minimized)
+		reproSrc, werr := WriteSource(minProg)
+		path := ""
+		if werr == nil {
+			path = writeRepro(t, reproSrc, seed, strategy, minimized)
+		}
+		t.Fatalf("emulator/pipeline divergence under %v (seed %d, %d mutations minimized to %d, repro %s): %v",
+			strategy, seed, len(muts), len(minimized), path, err)
+	})
+}
+
+// TestReproDir replays every divergence repro previously written by
+// FuzzDifferential (if any exist) under all strategies, so a captured
+// finding keeps failing until the model bug is fixed.
+func TestReproDir(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(reproDir(), "*.s"))
+	if err != nil || len(paths) == 0 {
+		t.Skipf("no divergence repros in %s", reproDir())
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			t.Errorf("%s: repro does not assemble: %v", path, err)
+			continue
+		}
+		for _, k := range core.Strategies() {
+			cfg := pipeline.DefaultConfig().WithStrategy(k, false)
+			if err := Diff(prog, fuzzBudget, cfg); err != nil && !isReject(err) {
+				t.Errorf("%s under %v: %v", path, k, err)
+			}
+		}
+	}
+}

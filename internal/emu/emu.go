@@ -3,7 +3,10 @@
 // programs to architectural completion and streams committed-instruction
 // records to the timing model, which replays them through the clustered
 // pipeline. The emulator is the single source of truth for program semantics;
-// the timing model never re-executes an instruction.
+// the timing model never re-executes an instruction. That authority is what
+// internal/conformance checks: its corpus pins this emulator's architectural
+// results as goldens, and its differential fuzzer asserts the timing model
+// retires exactly the record stream emitted here (see DESIGN.md §11).
 package emu
 
 import (

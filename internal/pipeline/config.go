@@ -67,7 +67,10 @@ type Config struct {
 	// RetireHook, when non-nil, observes every retired instruction in
 	// program order with the same record the fill unit receives. It exists
 	// for differential testing and external tracing; it must not retain the
-	// RetireInfo's pointers beyond the call.
+	// RetireInfo's pointers beyond the call. internal/conformance builds the
+	// retirement-stream half of the ISA conformance contract on this hook:
+	// the observed records must be byte-identical to the emulator's own
+	// committed stream under every strategy (see DESIGN.md §11).
 	RetireHook func(core.RetireInfo)
 }
 

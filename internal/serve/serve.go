@@ -49,6 +49,9 @@ type Config struct {
 	// CheckpointDir, when set, lets jobs request checkpoint-segmented runs;
 	// it is also what makes shutdown lossless for long simulations.
 	CheckpointDir string
+	// SlotDir, when set, exposes the named save-state slots in that
+	// directory over /api/v1/slots (list, inspect, fork).
+	SlotDir string
 	// Journal is the durable queue journal path ("" = <Store>/queue.journal).
 	// Every accepted job is journaled before the client sees 202; a restart
 	// over the same journal replays outstanding jobs automatically.
@@ -186,6 +189,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	journal *jobJournal
+	slots   *slotAPI // nil unless Config.SlotDir is set
 	mux     *http.ServeMux
 
 	interrupt chan struct{}
@@ -262,6 +266,13 @@ func New(cfg Config) (*Server, error) {
 		progress:  make(map[string]*Job),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.SlotDir != "" {
+		st, err := experiment.OpenSlots(cfg.SlotDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening slot directory: %w", err)
+		}
+		s.slots = &slotAPI{st: st}
+	}
 	s.tenants[DefaultTenant] = cfg.newTenant(DefaultTenant, "")
 	if cfg.Keys != "" {
 		byKey, byName, err := loadKeyFile(&cfg, cfg.Keys)
@@ -282,6 +293,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/results/{fp}", s.handleResult)
+	mux.HandleFunc("GET /api/v1/slots", s.handleSlots)
+	mux.HandleFunc("GET /api/v1/slots/{name}", s.handleSlot)
+	mux.HandleFunc("POST /api/v1/slots/{name}/fork", s.handleSlotFork)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux

@@ -1,0 +1,183 @@
+package serve
+
+// Slot endpoint tests: list/inspect/fork over HTTP against a slot directory
+// populated the way ctcpsim populates it, plus the failure surface (no slot
+// directory, invalid fork deltas leaving no destination behind).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ctcp/internal/emu"
+	"ctcp/internal/experiment"
+	"ctcp/internal/pipeline"
+	"ctcp/internal/workload"
+)
+
+// seedSlot saves one mid-flight slot into dir, as ctcpsim -save-slot would.
+func seedSlot(t *testing.T, dir, name, bench, base string, budget, at uint64) experiment.SlotMeta {
+	t.Helper()
+	st, err := experiment.OpenSlots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := experiment.SlotConfig{Base: base}
+	cfg, err := sc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	cfg.MaxInsts = 0
+	m := emu.New(bm.ProgramFor(budget))
+	p := pipeline.New(&emu.LimitStream{S: m, Budget: budget}, cfg)
+	if p.RunTo(at) {
+		t.Fatalf("stream exhausted before the save point %d", at)
+	}
+	meta, err := st.Save(experiment.SlotMeta{Name: name, Benchmark: bench, Config: sc, Budget: budget}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func postFork(t *testing.T, base, slot string, fr forkRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/api/v1/slots/"+slot+"/fork", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST fork: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck // best-effort diagnostic body
+	return resp, buf.Bytes()
+}
+
+func TestSlotEndpoints(t *testing.T) {
+	slotDir := t.TempDir()
+	saved := seedSlot(t, slotDir, "warm", "gzip", "fdrt", testBudget, testBudget/2)
+	_, hs := newTestServer(t, Config{SlotDir: slotDir})
+
+	// List: the seeded slot appears with complete metadata.
+	resp, err := http.Get(hs.URL + "/api/v1/slots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slots []experiment.SlotMeta
+	if err := json.NewDecoder(resp.Body).Decode(&slots); err != nil {
+		t.Fatalf("decode list (status %d): %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if len(slots) != 1 || slots[0].Name != "warm" || slots[0].RunFP != saved.RunFP {
+		t.Fatalf("list: %+v (saved %+v)", slots, saved)
+	}
+
+	// Inspect: one slot's metadata round-trips.
+	resp, err = http.Get(hs.URL + "/api/v1/slots/warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta experiment.SlotMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.Consumed != testBudget/2 || meta.CfgFP != saved.CfgFP {
+		t.Fatalf("inspect: %+v", meta)
+	}
+	if resp, _ := http.Get(hs.URL + "/api/v1/slots/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("inspect of a missing slot: status %d", resp.StatusCode)
+	}
+
+	// Fork: a hop-latency what-if creates a re-fingerprinted child slot.
+	fresp, body := postFork(t, hs.URL, "warm", forkRequest{As: "warm-hop1", Hop: 1})
+	if fresp.StatusCode != http.StatusCreated {
+		t.Fatalf("fork: status %d: %s", fresp.StatusCode, body)
+	}
+	var fork experiment.SlotMeta
+	if err := json.Unmarshal(body, &fork); err != nil {
+		t.Fatal(err)
+	}
+	if fork.Parent != "warm" || fork.Config.Base != "fdrt" || fork.Config.Hop != 1 {
+		t.Fatalf("fork metadata: %+v", fork)
+	}
+	if fork.RunFP == saved.RunFP || fork.CfgFP == saved.CfgFP {
+		t.Fatalf("fork kept the parent fingerprints: %+v", fork)
+	}
+
+	// The forked slot restores and continues on the server's directory.
+	st, err := experiment.OpenSlots(slotDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, p, err := st.Restore("warm-hop1"); err != nil {
+		t.Fatalf("restoring the HTTP-forked slot: %v", err)
+	} else {
+		p.RunTo(0)
+		if s := p.Finish(); s.Retired != testBudget {
+			t.Fatalf("forked continuation retired %d, want %d", s.Retired, testBudget)
+		}
+	}
+}
+
+func TestSlotForkRejections(t *testing.T) {
+	slotDir := t.TempDir()
+	seedSlot(t, slotDir, "seed", "gzip", "fdrt", testBudget, testBudget/2)
+	_, hs := newTestServer(t, Config{SlotDir: slotDir})
+
+	cases := []struct {
+		name string
+		fr   forkRequest
+		want int
+	}{
+		{"missing-destination", forkRequest{}, http.StatusBadRequest},
+		{"strategy-change", forkRequest{As: "bad1", Base: "issue4"}, http.StatusBadRequest},
+		{"inconsistent-knobs", forkRequest{As: "bad2", Base: "fdrt", ZeroAllFwd: true, ZeroCritFwd: true}, http.StatusBadRequest},
+		{"unknown-base", forkRequest{As: "bad3", Base: "warp-speed"}, http.StatusBadRequest},
+		{"bad-name", forkRequest{As: "../escape"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postFork(t, hs.URL, "seed", tc.fr)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		if tc.fr.As == "" {
+			continue
+		}
+		if resp, _ := http.Get(hs.URL + "/api/v1/slots/" + tc.fr.As); resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: failed fork left destination slot %q behind", tc.name, tc.fr.As)
+		}
+	}
+
+	// Forking an unknown source is a 404.
+	if resp, _ := postFork(t, hs.URL, "ghost", forkRequest{As: "x"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("fork of a missing slot: status %d", resp.StatusCode)
+	}
+}
+
+// TestSlotsDisabled: a server without a slot directory reports the
+// misconfiguration on every slot endpoint instead of inventing one.
+func TestSlotsDisabled(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, url := range []string{"/api/v1/slots", "/api/v1/slots/x"} {
+		resp, err := http.Get(hs.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without a slot dir: status %d", url, resp.StatusCode)
+		}
+	}
+	if resp, _ := postFork(t, hs.URL, "x", forkRequest{As: "y"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("fork without a slot dir: status %d", resp.StatusCode)
+	}
+}

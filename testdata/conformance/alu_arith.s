@@ -1,0 +1,16 @@
+; conformance: simple integer add/sub, register and immediate operate forms.
+; Self-check: accumulates a sum over a 40-iteration loop and OUTs it.
+        .entry main
+main:   movi    r1, 0           ; i
+        movi    r2, 0           ; sum
+        movi    r3, 97          ; decreasing seed
+loop:   add     r2, r3, r2      ; sum += seed
+        sub     r3, 3, r3       ; seed -= 3
+        add     r1, 1, r1
+        cmplt   r1, 40, r4
+        bne     r4, loop
+        sub     r2, r3, r5
+        add     r5, 12345, r5
+        out     r2
+        out     r5
+        halt

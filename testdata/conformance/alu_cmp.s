@@ -1,0 +1,25 @@
+; conformance: every integer compare (signed and unsigned), folded into a
+; bitmask so each result is visible in the golden registers.
+        .entry main
+main:   movi    r1, -5
+        movi    r2, 5
+        movi    r3, 0
+        cmpeq   r1, r2, r4
+        add     r3, r4, r3
+        sll     r3, 1, r3
+        cmpeq   r1, -5, r4
+        add     r3, r4, r3
+        sll     r3, 1, r3
+        cmplt   r1, r2, r4
+        add     r3, r4, r3
+        sll     r3, 1, r3
+        cmple   r2, 5, r4
+        add     r3, r4, r3
+        sll     r3, 1, r3
+        cmpult  r1, r2, r4      ; unsigned: -5 is huge, so 0
+        add     r3, r4, r3
+        sll     r3, 1, r3
+        cmpule  r2, r1, r4      ; unsigned: 5 <= huge, so 1
+        add     r3, r4, r3
+        out     r3
+        halt

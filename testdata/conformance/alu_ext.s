@@ -1,0 +1,16 @@
+; conformance: SEXTB/SEXTW sign extension of byte and word patterns.
+        .entry main
+main:   movi    r1, 0x1ff
+        sextb   r1, r2          ; 0xff -> -1
+        movi    r3, 0x18000
+        sextw   r3, r4          ; 0x8000 -> -32768
+        movi    r5, 0x7f
+        sextb   r5, r6          ; stays 127
+        movi    r7, 0x17fff
+        sextw   r7, r8          ; stays 32767
+        sub     r2, r4, r9
+        add     r9, r6, r9
+        add     r9, r8, r9
+        out     r9
+        out     r2
+        halt

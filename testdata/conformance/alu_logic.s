@@ -1,0 +1,22 @@
+; conformance: AND/OR/XOR/ANDNOT bit manipulation with a short mixing loop.
+        .entry main
+main:   movi    r1, 0x1234
+        movi    r2, 0xff00
+        and     r1, r2, r3
+        or      r1, r2, r4
+        xor     r1, r2, r5
+        andnot  r4, r3, r6
+        movi    r7, 0           ; checksum
+        movi    r8, 8           ; loop counter
+mix:    xor     r7, r3, r7
+        sll     r3, 1, r3
+        or      r3, 1, r3
+        and     r3, 0xffff, r3
+        andnot  r7, r5, r9
+        add     r7, r9, r7
+        sub     r8, 1, r8
+        bgt     r8, mix
+        out     r7
+        out     r4
+        out     r6
+        halt

@@ -1,0 +1,24 @@
+; conformance: SLL/SRL/SRA over a sweep of shift amounts, including
+; arithmetic shifts of a negative value (register-operand shift counts).
+        .entry main
+main:   movi    r1, -123456
+        movi    r2, 1
+        movi    r3, 0           ; checksum
+        movi    r4, 0           ; shift amount 0,7,...,56
+sh:     sll     r2, r4, r5
+        srl     r1, r4, r6
+        sra     r1, r4, r7
+        add     r3, r5, r3
+        xor     r3, r6, r3
+        add     r3, r7, r3
+        add     r4, 7, r4
+        cmplt   r4, 63, r8
+        bne     r8, sh
+        sll     r1, 2, r9       ; immediate-count forms
+        srl     r1, 2, r10
+        sra     r1, 2, r11
+        add     r9, r10, r9
+        add     r9, r11, r9
+        xor     r3, r9, r3
+        out     r3
+        halt

@@ -1,0 +1,40 @@
+; conformance: all six conditional branches over a -3..3 sweep, encoded
+; into a bitmask so every taken/not-taken decision is architectural.
+        .entry main
+main:   movi    r1, -3          ; v
+        movi    r2, 0           ; mask
+next:   movi    r3, 0
+        beq     r1, is0
+        movi    r3, 1
+is0:    sll     r2, 1, r2
+        or      r2, r3, r2
+        movi    r3, 0
+        bne     r1, isn0
+        movi    r3, 1
+isn0:   sll     r2, 1, r2
+        or      r2, r3, r2
+        movi    r3, 0
+        blt     r1, isneg
+        movi    r3, 1
+isneg:  sll     r2, 1, r2
+        or      r2, r3, r2
+        movi    r3, 0
+        ble     r1, isle
+        movi    r3, 1
+isle:   sll     r2, 1, r2
+        or      r2, r3, r2
+        movi    r3, 0
+        bgt     r1, isgt
+        movi    r3, 1
+isgt:   sll     r2, 1, r2
+        or      r2, r3, r2
+        movi    r3, 0
+        bge     r1, isge
+        movi    r3, 1
+isge:   sll     r2, 1, r2
+        or      r2, r3, r2
+        add     r1, 1, r1
+        cmple   r1, 3, r4
+        bne     r4, next
+        out     r2
+        halt

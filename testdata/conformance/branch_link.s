@@ -1,0 +1,25 @@
+; conformance: linking BR, JSR/RET call discipline with a stacked nested
+; call, and a register-indirect JMP.
+        .entry main
+main:   br      r5, after       ; linking unconditional branch
+after:  movi    r1, sub1
+        jsr     ra, (r1)
+        movi    r1, sub2
+        jsr     ra, (r1)
+        movi    r2, fin
+        jmp     (r2)
+        movi    r20, 0          ; never executed
+fin:    sub     r5, main, r6    ; link offset from text base (4)
+        add     r20, r6, r20
+        out     r20
+        halt
+sub1:   add     r20, 111, r20
+        ret
+sub2:   sub     sp, 16, sp
+        stq     ra, 0(sp)
+        movi    r1, sub1
+        jsr     ra, (r1)        ; nested call
+        add     r20, 500, r20
+        ldq     ra, 0(sp)
+        add     sp, 16, sp
+        ret

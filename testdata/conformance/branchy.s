@@ -1,0 +1,22 @@
+; conformance/stress: data-dependent branching off an LCG (mispredict
+; pressure; both directions of both branches are exercised).
+        .entry main
+main:   movi    r1, 12345       ; LCG state
+        movi    r2, 0
+        movi    r3, 80          ; iterations
+bl:     mul     r1, 1103515245, r1
+        add     r1, 12345, r1
+        srl     r1, 16, r4
+        and     r4, 1, r5
+        beq     r5, even
+        add     r2, 3, r2
+        br      cont
+even:   sub     r2, 1, r2
+cont:   and     r4, 7, r6
+        cmplt   r6, 3, r7
+        beq     r7, skip
+        xor     r2, r6, r2
+skip:   sub     r3, 1, r3
+        bne     r3, bl
+        out     r2
+        halt

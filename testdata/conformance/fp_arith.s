@@ -1,0 +1,21 @@
+; conformance: FP add/sub with int<->float conversions; all values stay
+; exactly representable.
+        .entry main
+main:   movi    r1, 3
+        cvtqt   r1, f1          ; 3.0
+        movi    r2, 7
+        cvtqt   r2, f2          ; 7.0
+        addt    f1, f2, f3      ; 10.0
+        subt    f3, f1, f4      ; 7.0
+        movi    r3, 0
+        movi    r4, 6
+fl:     addt    f4, f3, f4
+        subt    f4, f1, f4
+        cvttq   f4, r5
+        add     r3, r5, r3
+        sub     r4, 1, r4
+        bne     r4, fl
+        cvttq   f3, r6
+        add     r3, r6, r3
+        out     r3
+        halt

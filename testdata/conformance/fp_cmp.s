@@ -1,0 +1,28 @@
+; conformance: FP compares (Alpha-style 0.0/2.0 results) driving FP branches.
+        .entry main
+main:   movi    r1, 4
+        cvtqt   r1, f1
+        movi    r2, 4
+        cvtqt   r2, f2
+        movi    r3, 9
+        cvtqt   r3, f3
+        movi    r10, 0
+        cmpteq  f1, f2, f4      ; 2.0
+        fbne    f4, eq1         ; taken
+        add     r10, 100, r10
+eq1:    add     r10, 1, r10
+        cmptlt  f1, f3, f5      ; 2.0
+        fbeq    f5, lt1         ; not taken
+        add     r10, 2, r10
+lt1:    cmptle  f3, f1, f6      ; 0.0
+        fbeq    f6, le1         ; taken
+        add     r10, 400, r10
+le1:    add     r10, 4, r10
+        cvttq   f4, r4
+        cvttq   f5, r5
+        cvttq   f6, r6
+        add     r4, r5, r4
+        add     r4, r6, r4
+        out     r10
+        out     r4
+        halt

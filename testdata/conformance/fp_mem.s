@@ -1,0 +1,23 @@
+; conformance: FP load/store, raw-bit moves between the register files, and
+; an FP constant preinitialized in .data.
+        .entry main
+main:   movi    r10, fbuf
+        movi    r1, 5
+        cvtqt   r1, f1          ; 5.0
+        stt     f1, 0(r10)
+        ldt     f2, 0(r10)
+        addt    f2, f1, f3      ; 10.0
+        stt     f3, 8(r10)
+        ldt     f4, 8(r10)
+        ftoi    f4, r2          ; raw bits of 10.0
+        itof    r2, f5          ; and back
+        cvttq   f5, r3          ; 10
+        ldt     f6, 16(r10)     ; 25.0 constant from .data
+        cvttq   f6, r4
+        add     r3, r4, r3
+        out     r3
+        out     r2
+        halt
+        .data
+fbuf:   .space  16
+        .quad   0x4039000000000000

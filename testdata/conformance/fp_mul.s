@@ -1,0 +1,26 @@
+; conformance: FP multiply/divide/square root on exact powers and squares.
+        .entry main
+main:   movi    r1, 2
+        cvtqt   r1, f1          ; 2.0
+        movi    r2, 9
+        cvtqt   r2, f2          ; 9.0
+        mult    f1, f2, f3      ; 18.0
+        sqrtt   f2, f4          ; 3.0 (exact)
+        divt    f3, f4, f5      ; 6.0
+        movi    r4, 5
+        movi    r3, 0
+ml:     mult    f5, f1, f5      ; doubles each iteration
+        divt    f5, f4, f6
+        cvttq   f6, r5
+        add     r3, r5, r3
+        sub     r4, 1, r4
+        bne     r4, ml
+        cvttq   f5, r6
+        add     r3, r6, r3
+        movi    r7, 16
+        cvtqt   r7, f7
+        sqrtt   f7, f8          ; 4.0
+        cvttq   f8, r8
+        add     r3, r8, r3
+        out     r3
+        halt

@@ -1,0 +1,17 @@
+; conformance/stress: long serial dependence chains (forwarding latency is
+; on the critical path for every instruction).
+        .entry main
+main:   movi    r1, 1
+        movi    r2, 0
+        movi    r3, 50
+ch:     add     r1, r1, r4
+        add     r4, 3, r5
+        sub     r5, r1, r6
+        add     r6, r4, r7
+        xor     r7, r5, r8
+        add     r8, 1, r1
+        add     r2, r1, r2
+        sub     r3, 1, r3
+        bne     r3, ch
+        out     r2
+        halt

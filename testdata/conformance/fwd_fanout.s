@@ -1,0 +1,22 @@
+; conformance/stress: one producer fanning out to many consumers each
+; iteration (inter-cluster forwarding pressure).
+        .entry main
+main:   movi    r1, 12345
+        movi    r9, 0
+        movi    r8, 30
+fo:     add     r1, 7, r2       ; single producer
+        add     r2, 1, r3
+        sub     r2, 2, r4
+        sll     r2, 1, r5
+        srl     r2, 1, r6
+        xor     r2, r1, r7
+        add     r3, r4, r10
+        add     r5, r6, r11
+        add     r10, r11, r12
+        add     r12, r7, r12
+        add     r9, r12, r9
+        add     r1, r12, r1
+        sub     r8, 1, r8
+        bne     r8, fo
+        out     r9
+        halt

@@ -1,0 +1,24 @@
+; conformance: MUL/DIV/REM with mixed signs, plus the architectural
+; divide-by-zero-yields-zero rule.
+        .entry main
+main:   movi    r1, 7
+        movi    r2, -3
+        movi    r3, 0
+        movi    r4, 12          ; iterations
+md:     mul     r1, r2, r5
+        div     r5, r1, r6
+        rem     r5, 5, r7
+        add     r3, r5, r3
+        sub     r3, r6, r3
+        add     r3, r7, r3
+        add     r1, 3, r1
+        sub     r2, 1, r2
+        sub     r4, 1, r4
+        bne     r4, md
+        movi    r8, 0
+        div     r1, r8, r9      ; divide by zero -> 0
+        rem     r1, r8, r10     ; remainder by zero -> 0
+        add     r9, r10, r9
+        out     r3
+        out     r9
+        halt

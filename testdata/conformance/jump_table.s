@@ -1,0 +1,22 @@
+; conformance: register-indirect dispatch through a jump table held in .data.
+        .entry main
+main:   movi    r10, tbl
+        movi    r1, 0           ; case index
+        movi    r2, 1           ; accumulator
+disp:   sll     r1, 3, r3
+        add     r10, r3, r3
+        ldq     r4, 0(r3)
+        jmp     (r4)
+case0:  add     r2, 100, r2
+        br      nextc
+case1:  add     r2, 200, r2
+        br      nextc
+case2:  mul     r2, 3, r2
+        br      nextc
+nextc:  add     r1, 1, r1
+        cmplt   r1, 3, r5
+        bne     r5, disp
+        out     r2
+        halt
+        .data
+tbl:    .quad   case0, case1, case2

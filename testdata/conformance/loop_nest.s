@@ -1,0 +1,16 @@
+; conformance: nested counted loops with an invariant-free body.
+        .entry main
+main:   movi    r1, 0           ; i
+        movi    r5, 0           ; acc
+outer:  movi    r2, 0           ; j
+inner:  mul     r1, 10, r3
+        add     r3, r2, r3
+        add     r5, r3, r5
+        add     r2, 1, r2
+        cmplt   r2, 8, r4
+        bne     r4, inner
+        add     r1, 1, r1
+        cmplt   r1, 12, r4
+        bne     r4, outer
+        out     r5
+        halt

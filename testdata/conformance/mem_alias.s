@@ -1,0 +1,23 @@
+; conformance: aliasing stress — narrow stores punched into a wide store's
+; bytes, overlapping reloads, store-to-load forwarding distances of 1.
+        .entry main
+main:   movi    r10, buf
+        movi    r1, -1
+        stq     r1, 0(r10)      ; all-ones quadword
+        movi    r2, 0
+        stb     r2, 3(r10)      ; zero one byte inside it
+        ldq     r3, 0(r10)      ; overlapping reload sees the merge
+        movi    r4, 0x7777
+        stw     r4, 4(r10)
+        ldl     r5, 4(r10)
+        ldbu    r6, 3(r10)
+        stq     r3, 8(r10)
+        ldq     r7, 8(r10)
+        xor     r3, r7, r8      ; must be zero
+        add     r5, r6, r9
+        out     r3
+        out     r9
+        out     r8
+        halt
+        .data
+buf:    .space  32

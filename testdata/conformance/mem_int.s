@@ -1,0 +1,30 @@
+; conformance: every integer load/store width round-tripped through memory,
+; plus a table walk over preinitialized .data.
+        .entry main
+main:   movi    r10, buf
+        movi    r1, 0x12345678
+        stq     r1, 0(r10)
+        ldq     r2, 0(r10)
+        stl     r1, 8(r10)
+        ldl     r3, 8(r10)
+        stw     r1, 16(r10)
+        ldw     r4, 16(r10)
+        stb     r1, 24(r10)
+        ldbu    r5, 24(r10)
+        add     r2, r3, r6
+        add     r6, r4, r6
+        add     r6, r5, r6
+        movi    r11, tbl
+        movi    r12, 0          ; table sum
+        movi    r13, 5
+tw:     ldq     r14, 0(r11)
+        add     r12, r14, r12
+        add     r11, 8, r11
+        sub     r13, 1, r13
+        bne     r13, tw
+        out     r6
+        out     r12
+        halt
+        .data
+buf:    .space  64
+tbl:    .quad   11, 22, 33, 44, 55

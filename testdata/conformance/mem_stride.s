@@ -1,0 +1,36 @@
+; conformance: strided quadword fill, strided partial-word reads.
+        .entry main
+main:   movi    r10, arr
+        movi    r1, 0           ; i
+        movi    r2, 17
+fill:   mul     r1, r2, r3
+        add     r3, 5, r3
+        sll     r1, 3, r4
+        add     r10, r4, r5
+        stq     r3, 0(r5)
+        add     r1, 1, r1
+        cmplt   r1, 16, r6
+        bne     r6, fill
+        movi    r1, 0
+        movi    r7, 0           ; quad sum, stride 2
+qs:     sll     r1, 3, r4
+        add     r10, r4, r5
+        ldq     r3, 0(r5)
+        add     r7, r3, r7
+        add     r1, 2, r1
+        cmplt   r1, 16, r6
+        bne     r6, qs
+        movi    r1, 1
+        movi    r8, 0           ; word xor, stride 3 halfwords
+ws:     sll     r1, 1, r4
+        add     r10, r4, r5
+        ldw     r9, 0(r5)
+        xor     r8, r9, r8
+        add     r1, 3, r1
+        cmplt   r1, 60, r6
+        bne     r6, ws
+        out     r7
+        out     r8
+        halt
+        .data
+arr:    .space  128

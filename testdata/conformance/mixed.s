@@ -1,0 +1,26 @@
+; conformance: interleaved integer, FP, and memory traffic in one loop.
+        .entry main
+main:   movi    r10, mbuf
+        movi    r1, 1
+        movi    r2, 0
+        movi    r3, 20
+mx:     cvtqt   r1, f1
+        mult    f1, f1, f2      ; i^2
+        cvttq   f2, r4
+        sll     r1, 3, r5
+        add     r10, r5, r5
+        stq     r4, 0(r5)
+        ldq     r6, 0(r5)
+        add     r2, r6, r2
+        stt     f2, 0(r10)
+        ldt     f3, 0(r10)
+        addt    f3, f1, f4
+        cvttq   f4, r7
+        xor     r2, r7, r2
+        add     r1, 1, r1
+        sub     r3, 1, r3
+        bne     r3, mx
+        out     r2
+        halt
+        .data
+mbuf:   .space  256

@@ -1,0 +1,12 @@
+; conformance: NOP scheduling holes and the OUT checksum channel.
+        .entry main
+main:   nop
+        movi    r1, 42
+        out     r1
+        nop
+        movi    r2, 7
+        add     r1, r2, r3
+        out     r3
+        nop
+        out     r2
+        halt

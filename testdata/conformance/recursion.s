@@ -1,0 +1,22 @@
+; conformance: recursive call tree over the stack (sum of 1..9), exercising
+; JSR/RET with saved/restored link and argument registers.
+        .entry main
+main:   movi    r1, 9           ; n
+        movi    r2, rsum
+        jsr     ra, (r2)
+        out     r0
+        halt
+rsum:   bgt     r1, rec         ; r0 = sum(1..r1)
+        movi    r0, 0
+        ret
+rec:    sub     sp, 16, sp
+        stq     ra, 0(sp)
+        stq     r1, 8(sp)
+        sub     r1, 1, r1
+        movi    r2, rsum
+        jsr     ra, (r2)
+        ldq     r1, 8(sp)
+        ldq     ra, 0(sp)
+        add     sp, 16, sp
+        add     r0, r1, r0
+        ret

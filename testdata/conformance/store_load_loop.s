@@ -1,0 +1,20 @@
+; conformance/stress: a memory-carried loop dependence — every iteration
+; loads what the previous iteration stored to the same address.
+        .entry main
+main:   movi    r10, cell
+        movi    r1, 1
+        stq     r1, 0(r10)
+        movi    r3, 40
+sl:     ldq     r2, 0(r10)
+        add     r2, r2, r2
+        add     r2, 1, r2
+        stq     r2, 0(r10)
+        sub     r3, 1, r3
+        bne     r3, sl
+        ldq     r4, 0(r10)
+        srl     r4, 20, r5
+        xor     r4, r5, r4
+        out     r4
+        halt
+        .data
+cell:   .space  8

@@ -1,0 +1,15 @@
+; conformance: hardwired-zero register semantics — writes to r31/f31 are
+; discarded, reads always produce zero, and mov is the OR-with-zero pseudo.
+        .entry main
+main:   movi    r31, 999        ; discarded
+        add     r31, 5, r1      ; 0 + 5
+        mov     r2, r1
+        add     r2, r31, r2     ; unchanged
+        movi    r3, 17
+        cvtqt   r3, f31         ; discarded
+        cvttq   f31, r4         ; 0
+        add     r2, r4, r2
+        sub     zero, 1, r5     ; -1 via alias
+        add     r2, r5, r2
+        out     r2
+        halt
