@@ -20,7 +20,12 @@ vet:
 # lint runs ctcplint, the stdlib-only analyzer suite in internal/lint that
 # enforces the simulator's determinism and hot-path invariants (map iteration
 # order, //ctcp:hotpath allocations, wall clock/ambient randomness, float
-# equality, Config.Validate coverage, unchecked artifact writes).
+# equality, Config.Validate coverage, unchecked artifact/response writes) and
+# the service tier's concurrency invariants on a CFG/call-graph layer:
+# lockheld (no blocking I/O while a mutex is held), lockorder (no
+# lock-acquisition cycles module-wide), goroleak (every goroutine has a join
+# signal). A suppression audit rides along: stale //ctcp:lint-ok and
+# //ctcp:coldlock waivers fail the lint like real findings.
 lint:
 	$(GO) run ./cmd/ctcplint ./...
 

@@ -8,6 +8,12 @@
 //
 // The only supported pattern is the whole module ("./..." or no argument);
 // the analyzers' own Match scopes decide which packages each rule inspects.
+//
+// After the analyzers run, the suppression audit reports (as rule
+// "suppressaudit") every //ctcp:lint-ok comment whose rule ran but matched
+// no finding, and every //ctcp:coldlock annotation that exempted nothing —
+// stale waivers fail the lint exactly like real findings, so they cannot
+// accumulate.
 package main
 
 import (
@@ -35,6 +41,8 @@ func run(args []string) int {
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", lint.AuditRule,
+			"stale //ctcp:lint-ok or //ctcp:coldlock waiver (always on for the rules that ran)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +59,8 @@ func run(args []string) int {
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stdout, "%s\t%s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stdout, "%s\t%s\n", lint.AuditRule,
+			"stale //ctcp:lint-ok or //ctcp:coldlock waiver (always on for the rules that ran)")
 		return 0
 	}
 	if *rules != "" {
@@ -81,6 +91,8 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
+	diags = append(diags, lint.Audit(pkgs, analyzers)...)
+	lint.SortDiagnostics(diags)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -60,7 +60,7 @@ func (h *Hierarchy) Snapshot(w *snap.Writer) {
 	h.L2.Snapshot(w)
 	h.TLB.Snapshot(w)
 	lines := make([]uint64, 0, len(h.mshr))
-	for line := range h.mshr { //ctcp:lint-ok maporder -- keys are collected and sorted before use
+	for line := range h.mshr { // keys are collected and sorted before use (maporder does not scope here)
 		lines = append(lines, line)
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })

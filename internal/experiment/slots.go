@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ctcp/internal/core"
 	"ctcp/internal/emu"
@@ -113,8 +114,21 @@ func (m SlotMeta) fingerprints() (runFP, cfgFP string, err error) {
 
 // SlotStore manages named slots in one directory (one <name>.slot file
 // each, written atomically through snap.WriteFile).
+//
+// Forks serialize per destination name through a reservation (busy set)
+// rather than a lock held across the work: the mutex only guards the
+// reservation bookkeeping, never the restore/resimulate/save I/O, so List,
+// Inspect, and forks of other destinations stay responsive while a fork is
+// in flight.
 type SlotStore struct {
 	dir string
+
+	mu   sync.Mutex
+	busy map[string]bool // destination names reserved by in-flight forks
+
+	// forkHook, when set (tests only), runs after the destination is
+	// reserved and checked but before the restore begins.
+	forkHook func()
 }
 
 // OpenSlots opens (creating if needed) a slot directory.
@@ -125,7 +139,7 @@ func OpenSlots(dir string) (*SlotStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &SlotStore{dir: dir}, nil
+	return &SlotStore{dir: dir, busy: make(map[string]bool)}, nil
 }
 
 // Dir returns the store's directory.
@@ -347,8 +361,31 @@ func (st *SlotStore) Fork(src, dst string, delta SlotConfig) (SlotMeta, error) {
 	if err != nil {
 		return SlotMeta{}, err
 	}
+	// Reserve the destination name before touching the disk. The
+	// reservation — not a lock held across the restore — is what makes two
+	// concurrent forks of the same destination race-free: exactly one
+	// reserves, the other is refused immediately, and the exists-check below
+	// runs off-lock under the reservation's protection.
+	st.mu.Lock()
+	if st.busy == nil {
+		st.busy = make(map[string]bool)
+	}
+	if st.busy[dst] {
+		st.mu.Unlock()
+		return SlotMeta{}, fmt.Errorf("slot: destination %q already being forked", dst)
+	}
+	st.busy[dst] = true
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		delete(st.busy, dst)
+		st.mu.Unlock()
+	}()
 	if _, err := os.Stat(dstPath); err == nil {
 		return SlotMeta{}, fmt.Errorf("slot: destination %q already exists", dst)
+	}
+	if st.forkHook != nil {
+		st.forkHook()
 	}
 	srcPath, err := st.path(src)
 	if err != nil {

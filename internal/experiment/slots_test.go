@@ -8,6 +8,8 @@ package experiment
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ctcp/internal/emu"
@@ -299,5 +301,76 @@ func TestSlotListInspect(t *testing.T) {
 	}
 	if _, err := st.Inspect("nope"); err == nil {
 		t.Error("inspect of a missing slot succeeded")
+	}
+}
+
+// TestSlotForkConcurrentSameDestination: the fork path serializes on a
+// per-destination reservation, not a lock held across the restore. Two
+// concurrent forks of one destination must resolve to exactly one winner,
+// the store must answer List/Inspect while a fork is mid-flight (the
+// regression the lockheld analyzer guards: no disk I/O under a store-wide
+// mutex), and the reservation must be released when the fork completes.
+func TestSlotForkConcurrentSameDestination(t *testing.T) {
+	st := openStore(t)
+	sc := SlotConfig{Base: "base"}
+	_, p := newSlotPipe(t, "gzip", sc, slotInsts)
+	if _, err := st.Save(SlotMeta{Name: "src", Benchmark: "gzip", Config: sc, Budget: slotInsts}, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the first fork right after it reserves the destination, so the
+	// second fork and the read probes provably overlap it. A plain CAS (not
+	// sync.Once: Do would block the later, independent fork's hook call until
+	// the parked winner returns) makes only the first caller wait.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookFired atomic.Bool
+	st.forkHook = func() {
+		if hookFired.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+
+	delta := SlotConfig{Base: "base", Hop: 2}
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := st.Fork("src", "dst", delta)
+		firstErr <- err
+	}()
+	<-entered
+
+	// Loser: same destination while the winner holds the reservation.
+	if _, err := st.Fork("src", "dst", delta); err == nil ||
+		!strings.Contains(err.Error(), "already being forked") {
+		t.Fatalf("concurrent fork of a reserved destination: err = %v, want 'already being forked'", err)
+	}
+
+	// The store stays responsive mid-fork: these would deadlock (and time the
+	// test out) if a store-wide lock were held across the restore.
+	if _, err := st.List(); err != nil {
+		t.Fatalf("List during in-flight fork: %v", err)
+	}
+	if _, err := st.Inspect("src"); err != nil {
+		t.Fatalf("Inspect during in-flight fork: %v", err)
+	}
+	// A fork of the same source to a different destination is independent.
+	if _, err := st.Fork("src", "other", SlotConfig{Base: "base", Hop: 3}); err != nil {
+		t.Fatalf("fork to a different destination during in-flight fork: %v", err)
+	}
+
+	close(release)
+	if err := <-firstErr; err != nil {
+		t.Fatalf("winning fork: %v", err)
+	}
+
+	// Reservation released, destination on disk: a retry is refused by the
+	// exists-check (not the reservation), and the fork restores cleanly.
+	if _, err := st.Fork("src", "dst", delta); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("re-fork after completion: err = %v, want 'already exists'", err)
+	}
+	if _, _, _, err := st.Restore("dst"); err != nil {
+		t.Fatalf("restoring the forked slot: %v", err)
 	}
 }

@@ -1,0 +1,83 @@
+package lint
+
+// Lint-suite cost tracking: the whole point of a pre-merge analyzer suite is
+// that it stays cheap enough to run on every push. BenchmarkLintModule
+// measures one full load + registry run over the module; TestLintModuleBudget
+// is the CI tripwire that fails when the suite (including the flow-sensitive
+// lockheld/lockorder/goroleak fixpoints) outgrows a generous wall-clock
+// budget instead of letting it creep.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// loadModulePkgs loads and type-checks the whole module once, fatally on
+// error; shared by the benchmark and the budget test.
+func loadModulePkgs(tb testing.TB) []*Package {
+	tb.Helper()
+	l, err := NewLoader("")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pkgs
+}
+
+// BenchmarkLintModule times the analysis proper — every registered analyzer
+// plus the suppression audit — over a pre-loaded module, which is what the
+// suite costs when the type-checked packages are already in hand (load and
+// type-check time is measured once by the loader, not per analyzer change).
+func BenchmarkLintModule(b *testing.B) {
+	pkgs := loadModulePkgs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags := Run(pkgs, All())
+		diags = append(diags, Audit(pkgs, All())...)
+		if len(diags) != 0 {
+			b.Fatalf("module not clean: %s", diags[0].String())
+		}
+	}
+}
+
+// lintBudget is the end-to-end ceiling (load + type-check + every analyzer +
+// audit) for one cold run of the suite, overridable for slow CI runners via
+// CTCP_LINT_BUDGET (seconds).
+const lintBudget = 120 * time.Second
+
+// TestLintModuleBudget fails when a cold ctcplint run outgrows lintBudget.
+// Analyzer additions that regress this should be made cheaper (share the
+// call graph, prune the fixpoint) rather than the budget raised quietly.
+func TestLintModuleBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module (plus stdlib sources)")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under race instrumentation")
+	}
+	budget := lintBudget
+	if s := os.Getenv("CTCP_LINT_BUDGET"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("CTCP_LINT_BUDGET: %v", err)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+	start := time.Now()
+	pkgs := loadModulePkgs(t)
+	diags := Run(pkgs, All())
+	diags = append(diags, Audit(pkgs, All())...)
+	elapsed := time.Since(start)
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+	if elapsed > budget {
+		t.Fatalf("full lint run took %v, over the %v budget; make the analyzers cheaper before raising it", elapsed, budget)
+	}
+	t.Logf("full lint run: %v (budget %v)", elapsed, budget)
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildTestCFG(t, "x := 1\n_ = x\nreturn")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("exit not reachable from entry")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	// Both arms must flow into a join block that reaches the exit.
+	g := buildTestCFG(t, "x := 0\nif x > 0 {\n\tx = 1\n} else {\n\tx = 2\n}\n_ = x")
+	cond := g.Entry
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then/else)", len(cond.Succs))
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g := buildTestCFG(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}")
+	// Some block must have a back edge: a successor with an index <= its own.
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index && s != g.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("for loop produced no back edge")
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("exit not reachable (loop must be exitable via its condition)")
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := buildTestCFG(t, "return\n_ = 1")
+	reach := reachable(g)
+	// The statement after return lives in a block with no entry edge.
+	found := false
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 1 && !reach[b.Index] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("statement after return should be in an unreachable block")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	g := buildTestCFG(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n\t_ = v\ncase ch <- 1:\n}")
+	// The select header's block must have one successor per comm clause (the
+	// after-block is reached through the clause bodies, not directly: no
+	// default means no fallthrough edge).
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no block contains the select statement")
+	}
+	if len(header.Succs) != 2 {
+		t.Fatalf("select header has %d successors, want 2 (one per clause)", len(header.Succs))
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGRangeHeaderOnly(t *testing.T) {
+	g := buildTestCFG(t, "xs := []int{1}\nfor _, x := range xs {\n\t_ = x\n}")
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no block contains the range statement")
+	}
+	if len(header.Succs) != 2 {
+		t.Fatalf("range header has %d successors, want 2 (body and after)", len(header.Succs))
+	}
+	// The body statement must not share the header block (header-only node).
+	if len(header.Nodes) != 1 {
+		t.Fatalf("range header block has %d nodes, want only the RangeStmt", len(header.Nodes))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildTestCFG(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\n\tfallthrough\ncase 2:\n\tx = 3\n}\n_ = x")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("exit not reachable")
+	}
+	// Every block except unreachable ones must be on a path to the exit.
+	reach := reachable(g)
+	if !reach[g.Exit.Index] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\n_ = 1")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatal("labeled break must make the code after the loop (and so the exit) reachable")
+	}
+}

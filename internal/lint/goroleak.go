@@ -1,0 +1,71 @@
+package lint
+
+// goroleak: every goroutine launched in a long-lived component must be tied
+// to shutdown or drain. A `go` statement in the service tier passes if the
+// spawned body (or, for `go fn(...)` on a module function, fn's body,
+// transitively) contains a join signal:
+//
+//   - a select statement (the done/interrupt-channel idiom — any select in a
+//     spawned body here is a lifecycle select),
+//   - a channel receive or a range over a channel (drains until close),
+//   - sync.WaitGroup.Done or .Wait (joined by a waiter),
+//   - sync.Cond.Wait (parked under a condition the owner broadcasts on exit).
+//
+// A goroutine with none of these can outlive Shutdown: it keeps a reference
+// to the server or runner alive, races teardown under -race, and — in the
+// journal/drain design — can write after the successor process has replayed.
+// Dynamic launches (`go f()` where f is a parameter or field) cannot be
+// analyzed and are reported too; restructure to a literal or a named module
+// function, or suppress with an explanatory //ctcp:lint-ok.
+
+import (
+	"go/ast"
+)
+
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutine in a long-lived component with no done-channel select or WaitGroup join",
+	Match: func(pkgPath string) bool {
+		return pathIn(pkgPath, "internal/serve", "internal/experiment", "internal/sample")
+	},
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(mp *ModulePass) {
+	cg := buildCallGraph(mp.Pkgs)
+	joins := cg.joinFuncs()
+
+	for _, f := range cg.order {
+		if !mp.Analyzer.Match(f.pkg.Path) {
+			continue
+		}
+		pkg := f.pkg
+		ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !cg.bodyJoins(pkg, fun.Body, joins) {
+					mp.Reportf(pkg, g.Pos(), "goroutine has no join signal (select on done channel, channel receive, or WaitGroup); tie it to shutdown/drain")
+				}
+				return true // a nested go inside the literal is its own launch; keep walking
+			default:
+				if callee := resolveCallee(pkg, g.Call); callee != nil {
+					if _, inModule := cg.decls[callee]; inModule {
+						if !joins[callee] {
+							mp.Reportf(pkg, g.Pos(), "goroutine running %s has no join signal (select on done channel, channel receive, or WaitGroup); tie it to shutdown/drain", displayFunc(callee))
+						}
+						return true
+					}
+					// Stdlib/external target: can't see the body.
+					mp.Reportf(pkg, g.Pos(), "goroutine target %s is outside the module; cannot verify it joins shutdown — wrap it in a literal with a done-select or WaitGroup", displayFunc(callee))
+					return true
+				}
+				mp.Reportf(pkg, g.Pos(), "goroutine target is dynamic (function value); cannot verify it joins shutdown — launch a literal with a done-select or WaitGroup instead")
+				return true
+			}
+		})
+	}
+}

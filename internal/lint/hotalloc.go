@@ -351,7 +351,7 @@ func rootedSlices(p *Pass, d *ast.FuncDecl) map[types.Object]bool {
 	// Optimistic fixpoint: assume every assigned variable is rooted, then
 	// strike any with an assignment that is not rooted under the current
 	// assumption (self-references like v = append(v, x) stay stable).
-	for obj := range assigns { //ctcp:lint-ok maporder -- fixpoint over a set; result is order-independent
+	for obj := range assigns { // fixpoint over a set; result is order-independent
 		rooted[obj] = true
 	}
 	for changed := true; changed; {

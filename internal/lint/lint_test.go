@@ -57,6 +57,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"configmissing", "ctcp/internal/pipeline", ConfigValidate},
 		{"snapcomplete", "ctcp/internal/fixture", SnapComplete},
 		{"writecheck", "ctcp/cmd/fixture", WriteCheck},
+		{"writecheck_serve", "ctcp/internal/serve", WriteCheck},
+		{"lockheld", "ctcp/internal/serve", LockHeld},
+		{"lockorder", "ctcp/internal/serve", LockOrder},
+		{"goroleak", "ctcp/internal/serve", GoroLeak},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -99,6 +103,47 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 }
 
+// TestSuppressionAudit runs maporder + lockheld over the audit fixture and
+// checks Audit in both directions: the used //ctcp:lint-ok and
+// //ctcp:coldlock waivers stay silent, the stale ones are reported at the
+// waiver's own line (marked want:suppressaudit inside the waiver comment).
+func TestSuppressionAudit(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", "suppressaudit"), "ctcp/internal/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{MapOrder, LockHeld}
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		t.Errorf("fixture should lint clean before the audit, got: %s", d)
+	}
+	got := Audit([]*Package{pkg}, analyzers)
+	want := parseWant(pkg)
+
+	seen := map[wantKey]bool{}
+	for _, d := range got {
+		k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}
+		if !want[k] {
+			t.Errorf("unexpected audit diagnostic: %s", d)
+			continue
+		}
+		seen[k] = true
+	}
+	var missing []string
+	for k := range want { //ctcp:lint-ok maporder -- missing-set is sorted before reporting
+		if !seen[k] {
+			missing = append(missing, k.file+":"+itoa(k.line)+": "+k.rule)
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("missing audit diagnostic: %s", m)
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"
@@ -131,6 +176,11 @@ func TestModuleLintsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d.String())
+	}
+	// The audit gate rides along: no suppression or coldlock annotation in
+	// the tree may be stale.
+	for _, d := range Audit(pkgs, All()) {
 		t.Errorf("%s", d.String())
 	}
 }

@@ -1,0 +1,343 @@
+package lint
+
+// lockorder: the module-wide lock-acquisition-order graph must be acyclic.
+//
+// Every function's CFG is walked with the same may-held fixpoint as lockheld,
+// but locks are named globally: a mutex field is "pkg.Type.field", a
+// package-level mutex is "pkg.name", and a function-local one is
+// "pkg.func.name" (locals cannot alias across functions, so the function
+// name disambiguates). While lock H is held, acquiring lock D — directly, or
+// anywhere in the transitive static call graph of a call made in the region —
+// adds edge H→D with the first witness position. Two reports come out of the
+// graph:
+//
+//   - a self-edge H→H ("lock reacquired while already held"): for a
+//     non-reentrant sync.Mutex that is self-deadlock, and for an RWMutex a
+//     write/read reacquisition is still a deadlock risk under writer
+//     starvation;
+//   - a cycle among two or more locks: the classic deadlock shape — two
+//     goroutines taking the locks in opposite orders can each hold one and
+//     wait forever for the other. Each strongly connected component is
+//     reported once, at its first edge's witness, listing every edge so the
+//     order inversion is readable from the diagnostic alone.
+//
+// The analysis is conservative in the may direction (a lock "may" be held
+// after a join even if one path released it) and ignores locks it cannot
+// name, go/defer bodies, and dynamic calls — same blind spots as lockheld,
+// documented in DESIGN.md §12.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "cycle in the module-wide lock-acquisition-order graph (potential deadlock)",
+	RunModule: runLockOrder,
+}
+
+// globalLockKey names a mutex with module-wide identity, or "" when the
+// expression cannot be resolved to a stable named lock.
+func globalLockKey(pkg *Package, fnName string, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			// Field selection: name by the owning named type, so s.mu and
+			// srv.mu are the same lock wherever they appear.
+			obj := sel.Obj()
+			if owner := recvNamed(sel.Recv()); owner != nil {
+				return fmt.Sprintf("%s.%s.%s", ownerPath(owner.Obj()), owner.Obj().Name(), obj.Name())
+			}
+			return ""
+		}
+		// Qualified identifier: pkgname.Var.
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return fmt.Sprintf("%s.%s", v.Pkg().Path(), v.Name())
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return fmt.Sprintf("%s.%s", v.Pkg().Path(), v.Name())
+		}
+		// Function-local lock: scope it by the enclosing function.
+		return fmt.Sprintf("%s.%s.%s", v.Pkg().Path(), fnName, v.Name())
+	}
+	return ""
+}
+
+func ownerPath(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}
+
+// directAcquires collects the global keys of locks acquired anywhere in a
+// function (outside go/defer/function literals).
+func directAcquires(pkg *Package, decl *ast.FuncDecl) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if recv, acquire, ok := mutexMethod(pkg, n); ok && acquire {
+				if key := globalLockKey(pkg, decl.Name.Name, recv); key != "" {
+					if _, dup := out[key]; !dup {
+						out[key] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// acquiresStar computes, per function, the set of locks acquired by the
+// function or anything it (transitively, statically) calls in the module.
+func acquiresStar(cg *callGraph) map[*types.Func]map[string]token.Pos {
+	direct := map[*types.Func]map[string]token.Pos{}
+	callees := map[*types.Func][]*types.Func{}
+	for _, f := range cg.order {
+		direct[f.fn] = directAcquires(f.pkg, f.decl)
+		ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if callee := resolveCallee(f.pkg, n); callee != nil {
+					if _, ok := cg.decls[callee]; ok {
+						callees[f.fn] = append(callees[f.fn], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	star := map[*types.Func]map[string]token.Pos{}
+	for fn, d := range direct { // fixpoint seed; map iteration order is irrelevant to the result
+		m := map[string]token.Pos{}
+		for k, v := range d {
+			m[k] = v
+		}
+		star[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range cg.order {
+			m := star[f.fn]
+			for _, callee := range callees[f.fn] {
+				for k, v := range star[callee] { // set union; order-insensitive
+					if _, ok := m[k]; !ok {
+						m[k] = v
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return star
+}
+
+// lockEdge is one ordered pair in the acquisition graph.
+type lockEdge struct {
+	from, to string
+}
+
+func runLockOrder(mp *ModulePass) {
+	cg := buildCallGraph(mp.Pkgs)
+	star := acquiresStar(cg)
+
+	// Collect edges: for every function, walk its CFG with globally-named
+	// held sets; at each node, held × acquired-here is an edge set. A call
+	// node contributes the callee's transitive acquisitions.
+	edges := map[lockEdge]token.Pos{}
+	edgePkg := map[lockEdge]*Package{}
+	addEdge := func(pkg *Package, from, to string, pos token.Pos) {
+		e := lockEdge{from, to}
+		if _, ok := edges[e]; !ok {
+			edges[e] = pos
+			edgePkg[e] = pkg
+		}
+	}
+	for _, f := range cg.order {
+		pkg, decl := f.pkg, f.decl
+		keyFn := func(e ast.Expr) string { return globalLockKey(pkg, decl.Name.Name, e) }
+		ops := func(n ast.Node) []lockOp { return nodeLockOps(pkg, n, keyFn) }
+		g := BuildCFG(decl.Body)
+		lockWalk(g, ops, func(n ast.Node, held heldSet) {
+			if len(held) == 0 {
+				return
+			}
+			// Acquisitions at this node: direct lock calls plus everything
+			// reachable through module calls made here.
+			acquired := map[string]token.Pos{}
+			for _, op := range ops(n) {
+				if op.acquire {
+					acquired[op.key] = op.pos
+				}
+			}
+			var scanRoot ast.Node = n
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				scanRoot = n.X
+			case *ast.SelectStmt:
+				scanRoot = nil
+			}
+			if scanRoot != nil {
+				ast.Inspect(scanRoot, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+						return false
+					case *ast.CallExpr:
+						if callee := resolveCallee(pkg, m); callee != nil {
+							for k := range star[callee] { // union into acquired; order-insensitive
+								if _, ok := acquired[k]; !ok {
+									acquired[k] = m.Pos()
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			for h := range held { // edge emission; dedup map keeps first witness per edge, cycle reporting sorts
+				for d, pos := range acquired {
+					addEdge(pkg, h, d, pos)
+				}
+			}
+		})
+	}
+
+	// Deterministic edge order for reporting.
+	sorted := make([]lockEdge, 0, len(edges))
+	for e := range edges { // collected and sorted below
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].from != sorted[j].from {
+			return sorted[i].from < sorted[j].from
+		}
+		return sorted[i].to < sorted[j].to
+	})
+
+	// Self-edges first: reacquiring a held lock deadlocks immediately.
+	adj := map[string][]string{}
+	for _, e := range sorted {
+		if e.from == e.to {
+			pkg := edgePkg[e]
+			mp.Reportf(pkg, edges[e], "lock %s reacquired while already held (self-deadlock)", e.from)
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	// Cycles: report each strongly connected component with >1 lock once, at
+	// the witness of its first (sorted) internal edge.
+	for _, scc := range stronglyConnected(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var cycleEdges []lockEdge
+		for _, e := range sorted {
+			if e.from != e.to && inSCC[e.from] && inSCC[e.to] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+		if len(cycleEdges) == 0 {
+			continue
+		}
+		first := cycleEdges[0]
+		pkg := edgePkg[first]
+		desc := ""
+		for i, e := range cycleEdges {
+			if i > 0 {
+				desc += ", "
+			}
+			desc += fmt.Sprintf("%s -> %s (%s)", e.from, e.to, shortPos(pkg.Fset, edges[e]))
+		}
+		locks := append([]string(nil), scc...)
+		sort.Strings(locks)
+		mp.Reportf(pkg, edges[first], "lock-order cycle among %v: %s; acquire these locks in one global order", locks, desc)
+	}
+}
+
+// stronglyConnected returns the SCCs of a string digraph (Tarjan, iterative
+// enough for lint-sized graphs via recursion), in a deterministic order.
+func stronglyConnected(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for n, outs := range adj { // collected and sorted below
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, m := range outs {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strong(n)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}

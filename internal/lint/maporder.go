@@ -18,7 +18,8 @@ var MapOrder = &Analyzer{
 	Match: func(pkgPath string) bool {
 		return pathIn(pkgPath,
 			"internal/pipeline", "internal/core", "internal/emu",
-			"internal/trace", "internal/experiment", "internal/stats")
+			"internal/trace", "internal/experiment", "internal/stats",
+			"internal/serve")
 	},
 	Run: runMapOrder,
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package lint
+
+// raceEnabled reports whether the race detector is compiled in; the lint
+// wall-clock budget is meaningless under its instrumentation overhead.
+const raceEnabled = false

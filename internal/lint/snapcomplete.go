@@ -84,7 +84,7 @@ func runSnapComplete(p *Pass) {
 
 	// Deterministic reporting order over the map of receiver types.
 	typeOrder := make([]*types.Named, 0, len(byType))
-	for named := range byType { //ctcp:lint-ok maporder -- keys are sorted by name before use
+	for named := range byType { // keys are sorted by name before use
 		typeOrder = append(typeOrder, named)
 	}
 	sort.Slice(typeOrder, func(i, j int) bool {

@@ -1,0 +1,111 @@
+// Fixture for the goroleak analyzer: loaded by lint_test.go under the
+// ctcp/internal/serve import path. Marked lines must diagnose; every other
+// line must stay silent.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	done chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+// A fire-and-forget goroutine with no lifecycle signal leaks past Shutdown.
+func (s *server) leak() {
+	go func() { // want:goroleak
+		s.n++
+	}()
+}
+
+// WaitGroup join (the canonical defer form) passes.
+func (s *server) okWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.n++
+	}()
+}
+
+// Done-channel select passes.
+func (s *server) okSelect() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case j := <-s.jobs:
+				s.n += j
+			}
+		}
+	}()
+}
+
+// Draining a channel until close passes.
+func (s *server) okRange() {
+	go func() {
+		for j := range s.jobs {
+			s.n += j
+		}
+	}()
+}
+
+// A named module function whose body has a join signal passes...
+func (s *server) okNamed() {
+	go s.run()
+}
+
+func (s *server) run() {
+	<-s.done
+}
+
+// ...including transitively through module calls.
+func (s *server) okDeep() {
+	go s.outer()
+}
+
+func (s *server) outer() { s.inner() }
+
+func (s *server) inner() {
+	select {
+	case <-s.done:
+	case j := <-s.jobs:
+		s.n += j
+	}
+}
+
+// A named module function with no signal is a leak at the launch site.
+func (s *server) leakNamed() {
+	go s.spin() // want:goroleak
+}
+
+func (s *server) spin() { s.n++ }
+
+// A dynamic target cannot be verified.
+func (s *server) leakDynamic(fn func()) {
+	go fn() // want:goroleak
+}
+
+// Neither can a target outside the module.
+func (s *server) leakExternal() {
+	go time.Sleep(time.Second) // want:goroleak
+}
+
+// The outer goroutine's select does not vouch for a nested launch.
+func (s *server) leakNested() {
+	go func() {
+		go func() { // want:goroleak
+			s.n++
+		}()
+		<-s.done
+	}()
+}
+
+// Suppression works for a documented exception.
+func (s *server) suppressedDynamic(fn func()) {
+	go fn() //ctcp:lint-ok goroleak -- fixture: caller contract guarantees fn selects on done
+}

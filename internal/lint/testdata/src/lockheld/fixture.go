@@ -1,0 +1,151 @@
+// Fixture for the lockheld analyzer: loaded by lint_test.go under the
+// ctcp/internal/serve import path. Marked lines must diagnose; every other
+// line must stay silent.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	done chan struct{}
+	evs  chan int
+	n    int
+}
+
+// Direct blocking ops inside a lock region.
+func (s *server) directIO(path string) {
+	s.mu.Lock()
+	_ = os.WriteFile(path, nil, 0o644) // want:lockheld
+	s.mu.Unlock()
+	_ = os.WriteFile(path, nil, 0o644) // after release: no diagnostic
+}
+
+func (s *server) sleepUnderRLock() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want:lockheld
+	s.rw.RUnlock()
+}
+
+func (s *server) chanOpsUnderLock() {
+	s.mu.Lock()
+	s.evs <- 1 // want:lockheld
+	<-s.done   // want:lockheld
+	s.mu.Unlock()
+}
+
+// defer mu.Unlock() keeps the region open to function exit.
+func (s *server) deferUnlock(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = os.ReadFile(path) // want:lockheld
+}
+
+// May-analysis: one branch unlocks, the other does not; after the join the
+// lock may still be held.
+func (s *server) branchy(path string, early bool) {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+	}
+	_, _ = os.ReadFile(path) // want:lockheld
+	if !early {
+		s.mu.Unlock()
+	}
+}
+
+// Transitive: the blocking op is reached through a module call chain.
+func (s *server) callsHelper(path string) {
+	s.mu.Lock()
+	writeState(path) // want:lockheld
+	s.mu.Unlock()
+}
+
+func writeState(path string) { writeStateInner(path) }
+
+func writeStateInner(path string) { _ = os.WriteFile(path, nil, 0o644) }
+
+// Non-blocking constructs under a lock: no diagnostics.
+func (s *server) cleanUnderLock() {
+	s.mu.Lock()
+	s.n++
+	select { // select with default is non-blocking by construction
+	case s.evs <- s.n:
+	default:
+	}
+	_ = os.Getenv("HOME") // environment access, not I/O
+	s.mu.Unlock()
+}
+
+// select without default blocks.
+func (s *server) blockingSelect() {
+	s.mu.Lock()
+	select { // want:lockheld
+	case <-s.done:
+	case s.evs <- 1:
+	}
+	s.mu.Unlock()
+}
+
+// Cond.Wait releases the mutex while parked: the idiom is allowed.
+func (s *server) waitLoop() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Work handed to a goroutine does not block the lock holder.
+func (s *server) spawnUnderLock(path string) {
+	s.mu.Lock()
+	go func() {
+		<-s.done
+		_ = os.WriteFile(path, nil, 0o644)
+	}()
+	s.mu.Unlock()
+}
+
+// journal mirrors the serve-tier escape hatch: a leaf mutex whose entire
+// purpose is serializing the file append.
+type journal struct {
+	mu   sync.Mutex
+	path string
+}
+
+// append serializes writers of the journal file.
+//
+//ctcp:coldlock the mutex exists to serialize this write
+func (j *journal) append(line []byte) {
+	j.mu.Lock()
+	_ = os.WriteFile(j.path, line, 0o644) // exempted by the coldlock hatch
+	j.mu.Unlock()
+}
+
+// Calls to a coldlock function are non-blocking at the call site.
+func (s *server) logViaJournal(j *journal) {
+	s.mu.Lock()
+	j.append(nil) // coldlock callee: no diagnostic
+	s.mu.Unlock()
+}
+
+// Suppression still works for deliberate one-offs.
+func (s *server) suppressed(path string) {
+	s.mu.Lock()
+	_ = os.WriteFile(path, nil, 0o644) //ctcp:lint-ok lockheld -- startup-only path, lock uncontended
+	s.mu.Unlock()
+}
+
+// Range over a channel parks the goroutine while the lock is held.
+func (s *server) drainUnderLock() {
+	s.mu.Lock()
+	for range s.evs { // want:lockheld
+		s.n++
+	}
+	s.mu.Unlock()
+}

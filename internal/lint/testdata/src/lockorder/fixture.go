@@ -1,0 +1,91 @@
+// Fixture for the lockorder analyzer: loaded by lint_test.go under the
+// ctcp/internal/serve import path. Marked lines must diagnose; every other
+// line must stay silent.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+	muG sync.Mutex
+	muH sync.Mutex
+)
+
+// Direct inversion: f1 takes A then B, f2 takes B then A. The {A,B} cycle is
+// reported once, at the first sorted edge's witness (A->B, i.e. here).
+func f1() {
+	muA.Lock()
+	muB.Lock() // want:lockorder
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func f2() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Transitive inversion: the nested acquisition happens inside helpers, so
+// the edges come from the call graph, not the lexical bodies. The {C,E}
+// cycle is reported at its first sorted edge's witness (C->E, the lockE call
+// below).
+func fC() {
+	muC.Lock()
+	lockE() // want:lockorder
+	muC.Unlock()
+}
+
+func fE() {
+	muE.Lock()
+	lockC()
+	muE.Unlock()
+}
+
+func lockE() {
+	muE.Lock()
+	muE.Unlock()
+}
+
+func lockC() {
+	muC.Lock()
+	muC.Unlock()
+}
+
+// Self-deadlock: reacquiring a held (non-reentrant) mutex.
+func fD() {
+	muD.Lock()
+	muD.Lock() // want:lockorder
+	muD.Unlock()
+	muD.Unlock()
+}
+
+// Consistent one-way nesting is fine: F before G everywhere, no reverse edge.
+func fOK() {
+	muF.Lock()
+	muG.Lock()
+	muG.Unlock()
+	muF.Unlock()
+}
+
+// Sequential (non-nested) acquisition creates no edge at all.
+func fSeq() {
+	muG.Lock()
+	muG.Unlock()
+	muF.Lock()
+	muF.Unlock()
+}
+
+// Suppression works for a deliberate, documented exception.
+func fSuppressed() {
+	muH.Lock()
+	muH.Lock() //ctcp:lint-ok lockorder -- fixture: deliberate double-lock to exercise suppression
+	muH.Unlock()
+	muH.Unlock()
+}

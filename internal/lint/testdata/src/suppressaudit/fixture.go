@@ -1,0 +1,52 @@
+// Fixture for the suppression audit: loaded by lint_test.go under the
+// ctcp/internal/serve import path, run through maporder + lockheld, then
+// audited. The used waivers must stay silent; the stale ones must be
+// reported at the waiver's own line.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+// A suppression that really covers a finding is kept.
+func usedSuppression(m map[string]int) int {
+	t := 0
+	for _, v := range m { //ctcp:lint-ok maporder -- pure accumulation; order-insensitive
+		t += v
+	}
+	return t
+}
+
+// A suppression on a line that no longer produces the finding is stale.
+func staleSuppression(s []int) int {
+	t := 0
+	for _, v := range s { //ctcp:lint-ok maporder -- slices are ordered want:suppressaudit
+		t += v
+	}
+	return t
+}
+
+type store struct {
+	mu   sync.Mutex
+	path string
+}
+
+// usedColdlock's mutex exists to serialize the write below, the exact case
+// the hatch is for: the annotation exempts a real would-be finding.
+//
+//ctcp:coldlock dedicated I/O-serialization leaf lock
+func (s *store) usedColdlock(b []byte) {
+	s.mu.Lock()
+	_ = os.WriteFile(s.path, b, 0o644)
+	s.mu.Unlock()
+}
+
+// staleColdlock guards no blocking work at all; the hatch exempts nothing.
+//
+//ctcp:coldlock nothing blocks under this lock want:suppressaudit
+func (s *store) staleColdlock() {
+	s.mu.Lock()
+	s.path = ""
+	s.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Fixture for the writecheck analyzer's serve-tier scope: loaded by
+// lint_test.go under the ctcp/internal/serve import path. Marked lines must
+// diagnose; every other line must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+func handler(w http.ResponseWriter, logf func(string, ...any)) {
+	w.Write([]byte("hello")) // want:writecheck
+
+	if _, err := w.Write([]byte("hello")); err != nil { // checked: no diagnostic
+		logf("client gone: %v", err)
+		return
+	}
+
+	// The SSE frame-write path: fmt.Fprintf straight to the response.
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", "progress", "{}") // want:writecheck
+
+	if _, err := fmt.Fprintf(w, "retry: %d\n\n", 1000); err != nil { // checked: no diagnostic
+		return
+	}
+
+	// Infallible sink: building the frame in memory first is the fix idiom.
+	var b strings.Builder
+	fmt.Fprintf(&b, "event: %s\n", "progress")
+	if _, err := w.Write([]byte(b.String())); err != nil {
+		logf("client gone: %v", err)
+	}
+}

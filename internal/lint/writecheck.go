@@ -6,17 +6,22 @@ import (
 	"strings"
 )
 
-// WriteCheck flags fmt.Fprint/Fprintf/Fprintln calls in the cmd/ tools whose
-// error result is discarded while writing to a destination that can actually
-// fail — an *os.File opened for output, or any io.Writer that is not one of
-// the conventionally infallible sinks (os.Stdout, os.Stderr,
-// strings.Builder, bytes.Buffer). A full disk or closed pipe must surface as
-// a non-zero exit, not a silently truncated artifact file.
+// WriteCheck flags fmt.Fprint/Fprintf/Fprintln calls (in the cmd/ tools and
+// internal/serve) whose error result is discarded while writing to a
+// destination that can actually fail — an *os.File opened for output, or any
+// io.Writer that is not one of the conventionally infallible sinks
+// (os.Stdout, os.Stderr, strings.Builder, bytes.Buffer). A full disk or
+// closed pipe must surface as a non-zero exit, not a silently truncated
+// artifact file. In internal/serve it additionally flags discarded errors on
+// http.ResponseWriter.Write: on the SSE/metrics paths a failed write means
+// the client is gone, and ignoring it keeps streaming into a dead
+// connection instead of tearing the subscriber down.
 var WriteCheck = &Analyzer{
 	Name: "writecheck",
-	Doc:  "discarded error writing to a fallible destination in cmd/",
+	Doc:  "discarded error writing to a fallible destination (cmd/, serve handlers, SSE flush paths)",
 	Match: func(pkgPath string) bool {
-		return strings.Contains(pkgPath, "/cmd/") || strings.HasPrefix(pkgPath, "cmd/")
+		return strings.Contains(pkgPath, "/cmd/") || strings.HasPrefix(pkgPath, "cmd/") ||
+			pathIn(pkgPath, "internal/serve")
 	},
 	Run: runWriteCheck,
 }
@@ -37,7 +42,18 @@ func runWriteCheck(p *Pass) {
 				return true
 			}
 			obj, ok := p.Pkg.Info.Uses[sel.Sel]
-			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			// http.ResponseWriter.Write (and any other net/http Write method)
+			// with the error discarded: the client may be gone.
+			if fn, isFn := obj.(*types.Func); isFn && obj.Pkg().Path() == "net/http" && fn.Name() == "Write" {
+				if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+					p.Reportf(call.Pos(), "ResponseWriter.Write error discarded; a failed write means the client disconnected — check it and stop the response/stream")
+					return true
+				}
+			}
+			if obj.Pkg().Path() != "fmt" {
 				return true
 			}
 			switch obj.Name() {

@@ -40,6 +40,12 @@ type jobJournal struct {
 
 // append journals one entry. An error means the acceptance could not be
 // made durable and the caller must not act as if it had been.
+//
+// The append must complete before the 202 response, so the write cannot be
+// deferred off-thread; jl.mu is a dedicated leaf lock (never nested under
+// Server.mu) whose entire purpose is serializing this file append.
+//
+//ctcp:coldlock jl.mu is a leaf lock that exists to serialize the journal write itself
 func (jl *jobJournal) append(e journalEntry) error {
 	if jl.path == "" {
 		return nil
@@ -102,7 +108,10 @@ func (jl *jobJournal) load() ([]journalEntry, error) {
 // compact atomically rewrites the journal to exactly the given outstanding
 // accepts. Restart calls it after replay so the journal never grows without
 // bound: settled history is dropped, and what remains is precisely the work
-// the new process owes.
+// the new process owes. The rewrite serializes against concurrent appends on
+// the same leaf lock; nothing else is ever held across it.
+//
+//ctcp:coldlock jl.mu is a leaf lock that exists to serialize the journal rewrite itself
 func (jl *jobJournal) compact(entries []journalEntry) error {
 	if jl.path == "" {
 		return nil

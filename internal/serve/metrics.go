@@ -193,5 +193,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "ctcpd_tenant_active{tenant=%q} %d\n", tn.name, tn.active)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(b.String())) //nolint:errcheck // client hangup; nothing to do
+	if _, err := w.Write([]byte(b.String())); err != nil {
+		s.logf("metrics: client hung up mid-scrape: %v", err)
+	}
 }

@@ -141,7 +141,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, buf)
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, buf); err != nil {
+			// The subscriber disconnected; stop streaming so the defer
+			// unsubscribes instead of pumping a dead connection.
+			return false
+		}
 		flusher.Flush()
 		return !terminalEvent(ev)
 	}

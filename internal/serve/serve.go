@@ -189,7 +189,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	journal *jobJournal
-	slots   *slotAPI // nil unless Config.SlotDir is set
+	slots   *experiment.SlotStore // nil unless Config.SlotDir is set
 	mux     *http.ServeMux
 
 	interrupt chan struct{}
@@ -271,7 +271,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening slot directory: %w", err)
 		}
-		s.slots = &slotAPI{st: st}
+		s.slots = st
 	}
 	s.tenants[DefaultTenant] = cfg.newTenant(DefaultTenant, "")
 	if cfg.Keys != "" {
@@ -405,7 +405,7 @@ func (s *Server) validate(req Request) (Request, workload.Benchmark, pipeline.Co
 	cfg, ok := cfgs[req.Config]
 	if !ok {
 		names := make([]string, 0, len(cfgs))
-		for name := range cfgs {
+		for name := range cfgs { //ctcp:lint-ok maporder -- keys are collected and sorted before use
 			names = append(names, name)
 		}
 		sort.Strings(names)
@@ -575,8 +575,18 @@ func (s *Server) replayJournal() error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	kept := entries[:0]
+	// Phase 1, off-lock: everything that touches the disk or only reads
+	// immutable server config — the store probe, validation, and the
+	// fingerprint-drift check. Holding s.mu across store.Get is exactly the
+	// I/O-under-lock shape lockheld exists to reject.
+	type replayCand struct {
+		e    journalEntry
+		req  Request
+		bm   workload.Benchmark
+		cfg  pipeline.Config
+		opts experiment.Options
+	}
+	cands := make([]replayCand, 0, len(entries))
 	for _, e := range entries {
 		var fp uint64
 		if _, err := fmt.Sscanf(e.FP, "%016x", &fp); err != nil {
@@ -595,20 +605,27 @@ func (s *Server) replayJournal() error {
 			s.logf("journal: dropping %s: fingerprint drift (now %s)", e.FP, hex)
 			continue
 		}
-		if _, dup := s.byFP[e.FP]; dup {
+		cands = append(cands, replayCand{e: e, req: req, bm: bm, cfg: cfg, opts: opts})
+	}
+	// Phase 2, one short lock region: index and queue the survivors.
+	s.mu.Lock()
+	kept := entries[:0]
+	for _, c := range cands {
+		if _, dup := s.byFP[c.e.FP]; dup {
 			continue
 		}
-		tn, ok := s.tenants[e.Tenant]
+		tn, ok := s.tenants[c.e.Tenant]
 		if !ok {
 			tn = s.tenants[DefaultTenant]
 		}
-		j := s.newJobLocked(req, e.FP, bm, cfg, opts, tn)
+		j := s.newJobLocked(c.req, c.e.FP, c.bm, c.cfg, c.opts, tn)
 		tn.pending = append(tn.pending, j)
 		s.submitted++
 		tn.submitted++
 		s.emitEventLocked(j, Event{Type: StatusQueued})
-		s.logf("job %s: replayed %s/%s fp=%s tenant=%s", j.ID, req.Benchmark, req.Config, e.FP, tn.name)
-		e.Request = &req
+		s.logf("job %s: replayed %s/%s fp=%s tenant=%s", j.ID, c.req.Benchmark, c.req.Config, c.e.FP, tn.name)
+		e := c.e
+		e.Request = &c.req
 		kept = append(kept, e)
 	}
 	s.mu.Unlock()
@@ -953,7 +970,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	filter := s.authRequired
 	jobs := make([]*Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
+	for _, j := range s.jobs { //ctcp:lint-ok maporder -- collected then sorted by seq below
 		if filter && j.tenant != tn {
 			continue
 		}

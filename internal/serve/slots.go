@@ -11,18 +11,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 
 	"ctcp/internal/experiment"
 )
-
-// slotAPI guards the server's slot store. Forks restore and resimulate a
-// checkpoint image, so they are serialized: two concurrent forks of the same
-// source would otherwise race on the destination-exists check.
-type slotAPI struct {
-	mu sync.Mutex
-	st *experiment.SlotStore
-}
 
 // forkRequest is the payload of POST /api/v1/slots/{name}/fork: a
 // destination name plus the what-if config delta (experiment.SlotConfig
@@ -49,8 +40,11 @@ func (fr forkRequest) delta() experiment.SlotConfig {
 }
 
 // slotStore returns the store or the error every slot endpoint reports when
-// the server was started without a slot directory.
-func (s *Server) slotStore() (*slotAPI, error) {
+// the server was started without a slot directory. The store serializes
+// concurrent forks internally (per-destination reservation), so handlers
+// call it directly — no handler-level lock, which would otherwise be held
+// across checkpoint restore I/O.
+func (s *Server) slotStore() (*experiment.SlotStore, error) {
 	if s.slots == nil {
 		return nil, fmt.Errorf("server has no slot directory (start with a SlotDir)")
 	}
@@ -64,12 +58,12 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnauthorized, err)
 		return
 	}
-	api, err := s.slotStore()
+	st, err := s.slotStore()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	slots, err := api.st.List()
+	slots, err := st.List()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -83,12 +77,12 @@ func (s *Server) handleSlot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnauthorized, err)
 		return
 	}
-	api, err := s.slotStore()
+	st, err := s.slotStore()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	meta, err := api.st.Inspect(r.PathValue("name"))
+	meta, err := st.Inspect(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -105,7 +99,7 @@ func (s *Server) handleSlotFork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnauthorized, err)
 		return
 	}
-	api, err := s.slotStore()
+	st, err := s.slotStore()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -121,9 +115,10 @@ func (s *Server) handleSlotFork(w http.ResponseWriter, r *http.Request) {
 	}
 	src := r.PathValue("name")
 
-	api.mu.Lock()
-	defer api.mu.Unlock()
-	srcMeta, err := api.st.Inspect(src)
+	// No handler-level lock: the store's per-destination reservation is what
+	// serializes concurrent forks, so this handler never blocks siblings (or
+	// /healthz) behind a checkpoint restore.
+	srcMeta, err := st.Inspect(src)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -132,7 +127,7 @@ func (s *Server) handleSlotFork(w http.ResponseWriter, r *http.Request) {
 	if delta.Base == "" {
 		delta.Base = srcMeta.Config.Base
 	}
-	meta, err := api.st.Fork(src, fr.As, delta)
+	meta, err := st.Fork(src, fr.As, delta)
 	if err != nil {
 		status := http.StatusBadRequest
 		if err := experiment.VerifySlot(srcMeta); err != nil {

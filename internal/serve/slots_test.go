@@ -181,3 +181,72 @@ func TestSlotsDisabled(t *testing.T) {
 		t.Errorf("fork without a slot dir: status %d", resp.StatusCode)
 	}
 }
+
+// TestSlotForkConcurrentHTTP: two racing fork requests for one destination
+// must resolve to exactly one 201 Created. The loser is refused with 400 —
+// by the in-flight reservation or, if it arrives after the winner finished,
+// by the destination-exists check — and the winner's slot is served back
+// intact. This is the HTTP-level regression for moving fork serialization
+// out of a handler mutex (which held disk I/O under a lock) and into the
+// slot store's per-destination reservation.
+func TestSlotForkConcurrentHTTP(t *testing.T) {
+	slotDir := t.TempDir()
+	seedSlot(t, slotDir, "warm", "gzip", "fdrt", testBudget, testBudget/2)
+	_, hs := newTestServer(t, Config{SlotDir: slotDir})
+
+	body, err := json.Marshal(forkRequest{As: "race-dst", Hop: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(hs.URL+"/api/v1/slots/warm/fork", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck // best-effort diagnostic body
+			results <- result{code: resp.StatusCode, body: buf.String()}
+		}()
+	}
+	var created, refused int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("POST fork: %v", r.err)
+		}
+		switch r.code {
+		case http.StatusCreated:
+			created++
+		case http.StatusBadRequest:
+			refused++
+		default:
+			t.Errorf("unexpected fork status %d: %s", r.code, r.body)
+		}
+	}
+	if created != 1 || refused != 1 {
+		t.Fatalf("racing forks: %d created, %d refused; want exactly 1 and 1", created, refused)
+	}
+
+	// The winner's slot is real: inspectable with fork lineage.
+	resp, err := http.Get(hs.URL + "/api/v1/slots/race-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var meta experiment.SlotMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatalf("decode forked slot (status %d): %v", resp.StatusCode, err)
+	}
+	if meta.Parent != "warm" || meta.Config.Hop != 2 {
+		t.Fatalf("forked slot metadata: %+v", meta)
+	}
+}
