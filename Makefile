@@ -71,7 +71,10 @@ fuzz-smoke:
 
 # bench runs the cycle-model microbenchmarks, then regenerates
 # BENCH_pipeline.json (current throughput next to the frozen pre-optimization
-# baseline) via the programmatic harness in internal/bench.
+# baseline) via the programmatic harness in internal/bench. Set BENCH_LABEL
+# to also record the measurement in the file's history array:
+#   make bench BENCH_LABEL=soa-inflight-store
+BENCH_LABEL ?=
 bench:
 	$(GO) test ./internal/pipeline -run='^$$' -bench=. -benchmem -benchtime=1s
-	$(GO) run ./cmd/ctcpbench -microbench -bench-out BENCH_pipeline.json
+	$(GO) run ./cmd/ctcpbench -microbench -bench-out BENCH_pipeline.json $(if $(BENCH_LABEL),-bench-label $(BENCH_LABEL))

@@ -83,6 +83,9 @@ type cliOptions struct {
 	micro      bool
 	benchOut   string
 	benchInsts uint64
+	benchLabel string
+	benchDate  string
+	benchGate  string
 	cpuProf    string
 	memProf    string
 
@@ -124,6 +127,9 @@ func main() {
 	flag.BoolVar(&o.micro, "microbench", false, "measure simulator throughput per kernel and write the JSON report instead of regenerating artifacts")
 	flag.StringVar(&o.benchOut, "bench-out", "BENCH_pipeline.json", "output path for the -microbench report")
 	flag.Uint64Var(&o.benchInsts, "bench-insts", bench.DefaultInsts, "committed instruction budget per -microbench run")
+	flag.StringVar(&o.benchLabel, "bench-label", "", "record the -microbench measurement in the report's history array under this label (replacing a same-labeled entry)")
+	flag.StringVar(&o.benchDate, "bench-date", "", "date recorded with -bench-label (e.g. 2026-08-08; defaults to today, UTC)")
+	flag.StringVar(&o.benchGate, "bench-gate", "", "path to a committed bench record: fail if any kernel's fresh ns/cycle regresses more than 15% against its 'current' block")
 	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Uint64Var(&o.sampleInterval, "sample", 0, "region-parallel sampled simulation: checkpoint the functional emulator every N instructions and simulate the regions in detail concurrently (0 = full detail)")
@@ -175,7 +181,7 @@ func run(o *cliOptions) int {
 	}
 
 	if micro {
-		if err := runMicrobench(benchOut, benchInsts); err != nil {
+		if err := runMicrobench(benchOut, benchInsts, o.benchLabel, o.benchDate, o.benchGate); err != nil {
 			fmt.Fprintf(os.Stderr, "ctcpbench: microbench: %v\n", err)
 			return 1
 		}
@@ -277,14 +283,18 @@ func run(o *cliOptions) int {
 // runMicrobench measures simulator throughput for every tracked kernel and
 // writes the JSON report. A baseline block already present in the output
 // file is preserved verbatim (it records the pre-optimization model and must
-// not be overwritten by re-runs); when the file is new, the frozen
-// bench.Baseline() measurement seeds it.
-func runMicrobench(path string, insts uint64) error {
+// not be overwritten by re-runs), as is the recorded history; when the file
+// is new, the frozen bench.Baseline() measurement seeds it. A non-empty
+// label appends the fresh measurement to the history (replacing a
+// same-labeled entry), and a non-empty gatePath compares it against that
+// file's committed "current" block, failing on a >15% ns/cycle regression.
+func runMicrobench(path string, insts uint64, label, date, gatePath string) error {
 	file := bench.File{Baseline: bench.Baseline()}
 	if old, err := os.ReadFile(path); err == nil {
 		var prev bench.File
 		if err := json.Unmarshal(old, &prev); err == nil && len(prev.Baseline.Kernels) > 0 {
 			file.Baseline = prev.Baseline
+			file.History = prev.History
 		}
 	}
 	fmt.Printf("ctcpbench: measuring simulator throughput (%d insts/run, strategy %s)\n",
@@ -294,6 +304,18 @@ func runMicrobench(path string, insts uint64) error {
 		return err
 	}
 	file.Current = cur
+	if label != "" {
+		if date == "" {
+			date = time.Now().UTC().Format("2006-01-02")
+		}
+		file.RecordHistory(cur, label, date)
+	}
+
+	strat, err := bench.RunStrategies(insts)
+	if err != nil {
+		return err
+	}
+	file.Strategies = strat
 
 	// Sampled-simulation speedup: measured once per report on the longest
 	// kernel, with workers/NumCPU recorded so the number stays honest on
@@ -324,6 +346,13 @@ func runMicrobench(path string, insts uint64) error {
 		fmt.Printf("%-10s %12.1f %14.0f %12d %14s\n", name, m.NsPerCycle, m.CyclesPerSec, m.AllocsPerOp, speedup)
 	}
 
+	fmt.Printf("\n%-14s %12s (gzip, per strategy family)\n", "strategy", "ns/cycle")
+	for _, k := range bench.StrategyFamilies() {
+		if m, ok := strat[k.String()]; ok {
+			fmt.Printf("%-14s %12.1f\n", k.String(), m.NsPerCycle)
+		}
+	}
+
 	buf, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
@@ -332,6 +361,23 @@ func runMicrobench(path string, insts uint64) error {
 		return err
 	}
 	fmt.Printf("ctcpbench: report written to %s\n", path)
+
+	// Gate last, after the artifact is on disk, so a failing run still
+	// leaves the fresh numbers inspectable.
+	if gatePath != "" {
+		old, err := os.ReadFile(gatePath)
+		if err != nil {
+			return fmt.Errorf("bench-gate: %w", err)
+		}
+		var committed bench.File
+		if err := json.Unmarshal(old, &committed); err != nil {
+			return fmt.Errorf("bench-gate: parsing %s: %w", gatePath, err)
+		}
+		if err := bench.Gate(committed.Current, cur, 0.15); err != nil {
+			return fmt.Errorf("bench-gate vs %s: %w", gatePath, err)
+		}
+		fmt.Printf("ctcpbench: bench-gate passed (within 15%% of %s)\n", gatePath)
+	}
 	return nil
 }
 

@@ -43,3 +43,56 @@ func TestBaselineRoundtrips(t *testing.T) {
 		t.Fatal("baseline did not roundtrip through JSON")
 	}
 }
+
+func TestGate(t *testing.T) {
+	mk := func(ns float64) Report {
+		return Report{Kernels: map[string]Metrics{"gzip": {NsPerCycle: ns}, "mcf": {NsPerCycle: 100}}}
+	}
+	committed := mk(1000)
+	if err := Gate(committed, mk(1100), 0.15); err != nil {
+		t.Errorf("10%% regression tripped a 15%% gate: %v", err)
+	}
+	if err := Gate(committed, mk(1200), 0.15); err == nil {
+		t.Error("20%% regression passed a 15%% gate")
+	}
+	// A kernel only present on one side is not a regression.
+	fresh := mk(900)
+	fresh.Kernels["new-kernel"] = Metrics{NsPerCycle: 9999}
+	if err := Gate(committed, fresh, 0.15); err != nil {
+		t.Errorf("unmatched kernel tripped the gate: %v", err)
+	}
+	// A zero committed record cannot divide-by-zero or trip.
+	committed.Kernels["zero"] = Metrics{}
+	fresh.Kernels["zero"] = Metrics{NsPerCycle: 5}
+	if err := Gate(committed, fresh, 0.15); err != nil {
+		t.Errorf("zero committed record tripped the gate: %v", err)
+	}
+}
+
+func TestRecordHistoryReplacesSameLabel(t *testing.T) {
+	rep := Report{
+		GoVersion: "go1.24.0",
+		Kernels:   map[string]Metrics{"gzip": {NsPerCycle: 950.5}},
+	}
+	var f File
+	f.RecordHistory(rep, "soa", "2026-08-08")
+	f.RecordHistory(rep, "older", "2026-07-01")
+	rep.Kernels["gzip"] = Metrics{NsPerCycle: 900}
+	f.RecordHistory(rep, "soa", "2026-08-09")
+	if len(f.History) != 2 {
+		t.Fatalf("history has %d entries, want 2 (same-label replace)", len(f.History))
+	}
+	if f.History[0].Label != "soa" || f.History[0].Date != "2026-08-09" ||
+		f.History[0].NsPerCycle["gzip"] != 900 {
+		t.Errorf("same-label entry not replaced in place: %+v", f.History[0])
+	}
+}
+
+func TestEmitRounding(t *testing.T) {
+	if got := round1(23554146.888888888); got != 23554146.9 {
+		t.Errorf("round1 = %v", got)
+	}
+	if got := round4(0.10346666); got != 0.1035 {
+		t.Errorf("round4 = %v", got)
+	}
+}

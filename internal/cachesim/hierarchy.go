@@ -39,8 +39,10 @@ type Hierarchy struct {
 	L2  *Cache
 	TLB *Cache
 
-	// Outstanding misses: line address -> cycle the fill completes.
-	mshr map[uint64]int64
+	// Outstanding misses: line address and the cycle its fill completes.
+	// Bounded by cfg.MSHRs (16 in the Table 7 configuration), so linear
+	// scans beat hashing and keep eviction tie-breaks deterministic.
+	mshr []mshrEntry
 
 	// Stats
 	TLBMisses  uint64
@@ -51,14 +53,19 @@ type Hierarchy struct {
 	MSHRStalls uint64
 }
 
+// mshrEntry is one outstanding miss.
+type mshrEntry struct {
+	line  uint64
+	ready int64
+}
+
 // NewHierarchy builds the data-memory system.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return &Hierarchy{
-		cfg:  cfg,
-		L1:   New(cfg.L1),
-		L2:   New(cfg.L2),
-		TLB:  New(cfg.TLB),
-		mshr: make(map[uint64]int64),
+		cfg: cfg,
+		L1:  New(cfg.L1),
+		L2:  New(cfg.L2),
+		TLB: New(cfg.TLB),
 	}
 }
 
@@ -66,11 +73,23 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 func (h *Hierarchy) reapMSHR(now int64) {
-	for line, ready := range h.mshr {
-		if ready <= now {
-			delete(h.mshr, line)
+	keep := h.mshr[:0]
+	for _, e := range h.mshr {
+		if e.ready > now {
+			keep = append(keep, e)
 		}
 	}
+	h.mshr = keep
+}
+
+// findMSHR returns the outstanding entry for line, or nil.
+func (h *Hierarchy) findMSHR(line uint64) *mshrEntry {
+	for i := range h.mshr {
+		if h.mshr[i].line == line {
+			return &h.mshr[i]
+		}
+	}
+	return nil
 }
 
 // Access computes the completion cycle of a data reference issued at cycle
@@ -89,9 +108,9 @@ func (h *Hierarchy) Access(now int64, addr uint64) int64 {
 		// The tag array fills at miss issue, so a "hit" may reference a line
 		// whose fill is still in flight; such hits merge into the MSHR and
 		// complete no earlier than the fill returns.
-		if ready, inFlight := h.mshr[line]; inFlight && ready > now {
+		if e := h.findMSHR(line); e != nil && e.ready > now {
 			h.MSHRMerges++
-			return max64(ready, now+lat+int64(h.cfg.L1HitLat))
+			return max64(e.ready, now+lat+int64(h.cfg.L1HitLat))
 		}
 		return now + lat + int64(h.cfg.L1HitLat)
 	}
@@ -99,16 +118,17 @@ func (h *Hierarchy) Access(now int64, addr uint64) int64 {
 	h.reapMSHR(now)
 	start := now
 	if len(h.mshr) >= h.cfg.MSHRs {
-		// All MSHRs busy: the miss waits for the earliest fill to retire.
+		// All MSHRs busy: the miss waits for the earliest fill to retire
+		// (oldest entry on a tie).
 		h.MSHRStalls++
-		earliest := int64(1<<62 - 1)
-		var line0 uint64
-		for l, r := range h.mshr {
-			if r < earliest {
-				earliest, line0 = r, l
+		min := 0
+		for i := 1; i < len(h.mshr); i++ {
+			if h.mshr[i].ready < h.mshr[min].ready {
+				min = i
 			}
 		}
-		delete(h.mshr, line0)
+		earliest := h.mshr[min].ready
+		h.mshr = append(h.mshr[:min], h.mshr[min+1:]...)
 		if earliest > start {
 			start = earliest
 		}
@@ -119,7 +139,13 @@ func (h *Hierarchy) Access(now int64, addr uint64) int64 {
 		missLat += int64(h.cfg.MemLat)
 	}
 	done := start + lat + int64(h.cfg.L1HitLat) + missLat
-	h.mshr[line] = done
+	if e := h.findMSHR(line); e != nil {
+		// The line's tag was evicted and re-missed while its first fill was
+		// still in flight: the newer fill supersedes it.
+		e.ready = done
+	} else {
+		h.mshr = append(h.mshr, mshrEntry{line, done})
+	}
 	return done
 }
 
@@ -128,7 +154,7 @@ func (h *Hierarchy) Reset() {
 	h.L1.Reset()
 	h.L2.Reset()
 	h.TLB.Reset()
-	h.mshr = make(map[uint64]int64)
+	h.mshr = h.mshr[:0]
 	h.TLBMisses, h.L1Misses, h.L2Misses, h.Accesses = 0, 0, 0, 0
 	h.MSHRMerges, h.MSHRStalls = 0, 0
 }

@@ -59,15 +59,15 @@ func (h *Hierarchy) Snapshot(w *snap.Writer) {
 	h.L1.Snapshot(w)
 	h.L2.Snapshot(w)
 	h.TLB.Snapshot(w)
-	lines := make([]uint64, 0, len(h.mshr))
-	for line := range h.mshr { // keys are collected and sorted before use (maporder does not scope here)
-		lines = append(lines, line)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	w.Int(len(lines))
-	for _, line := range lines {
-		w.U64(line)
-		w.I64(h.mshr[line])
+	// Emission stays sorted by line address: the encoding predates the
+	// slice-backed MSHR and restored checkpoints from the map-backed build
+	// must read back identically.
+	entries := append([]mshrEntry(nil), h.mshr...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].line < entries[j].line })
+	w.Int(len(entries))
+	for _, e := range entries {
+		w.U64(e.line)
+		w.I64(e.ready)
 	}
 	w.U64(h.TLBMisses)
 	w.U64(h.L1Misses)
@@ -88,10 +88,10 @@ func (h *Hierarchy) Restore(r *snap.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	h.mshr = make(map[uint64]int64, n)
+	h.mshr = h.mshr[:0]
 	for i := 0; i < n; i++ {
 		line := r.U64()
-		h.mshr[line] = r.I64()
+		h.mshr = append(h.mshr, mshrEntry{line, r.I64()})
 	}
 	h.TLBMisses = r.U64()
 	h.L1Misses = r.U64()

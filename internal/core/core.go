@@ -148,11 +148,23 @@ type RetireInfo struct {
 // only bridges the gap between a designation being made at retirement and
 // the designated instruction next passing through the fill unit. It is
 // bounded and evicts in FIFO order. See DESIGN.md substitution #3.
+//
+// The table is consulted for every retired instruction (updateChains) and
+// every slot of every built trace (assign), so entries live in a dense
+// PC-indexed pcMap rather than a hash map; the FIFO order ring is unchanged.
 type ChainProfile struct {
 	capLimit int
-	m        map[uint64]trace.Profile
+	count    int // live (present) designations
+	tab      pcMap[chainSlot]
 	order    []uint64
 	head     int
+}
+
+// chainSlot is one dense slot: a designation plus its presence bit (the
+// zero slot means "no pending designation for this PC").
+type chainSlot struct {
+	prof    trace.Profile
+	present bool
 }
 
 // NewChainProfile returns a table bounded to capLimit entries.
@@ -160,29 +172,42 @@ func NewChainProfile(capLimit int) *ChainProfile {
 	if capLimit <= 0 {
 		capLimit = 1
 	}
-	return &ChainProfile{
-		capLimit: capLimit,
-		m:        make(map[uint64]trace.Profile, capLimit),
+	return &ChainProfile{capLimit: capLimit}
+}
+
+// peek returns the pending designation for pc without consuming it.
+func (c *ChainProfile) peek(pc uint64) (trace.Profile, bool) {
+	if e := c.tab.lookup(pc); e != nil && e.present {
+		return e.prof, true
 	}
+	return trace.Profile{}, false
 }
 
 // Get returns the profile recorded for pc (zero Profile when absent).
-func (c *ChainProfile) Get(pc uint64) trace.Profile { return c.m[pc] }
+func (c *ChainProfile) Get(pc uint64) trace.Profile {
+	p, _ := c.peek(pc)
+	return p
+}
 
 // Set records the profile for pc, evicting the oldest entry when full.
 func (c *ChainProfile) Set(pc uint64, p trace.Profile) {
-	if _, exists := c.m[pc]; !exists {
-		if len(c.m) >= c.capLimit {
-			// FIFO eviction; skip order entries already deleted.
+	e := c.tab.ensure(pc)
+	if !e.present {
+		if c.count >= c.capLimit {
+			// FIFO eviction; skip order entries already deleted. Eviction
+			// only reads existing slots, so e stays valid across it.
 			for c.head < len(c.order) {
 				victim := c.order[c.head]
 				c.head++
-				if _, ok := c.m[victim]; ok {
-					delete(c.m, victim)
+				if ve := c.tab.lookup(victim); ve != nil && ve.present {
+					*ve = chainSlot{}
+					c.count--
 					break
 				}
 			}
 		}
+		e.present = true
+		c.count++
 		c.order = append(c.order, pc)
 		// Compact the order slice occasionally so it cannot grow without bound.
 		if c.head > c.capLimit {
@@ -190,30 +215,34 @@ func (c *ChainProfile) Set(pc uint64, p trace.Profile) {
 			c.head = 0
 		}
 	}
-	c.m[pc] = p
+	e.prof = p
 }
 
 // Has reports whether pc has a pending designation.
 func (c *ChainProfile) Has(pc uint64) bool {
-	_, ok := c.m[pc]
+	_, ok := c.peek(pc)
 	return ok
 }
 
 // Take removes and returns the pending designation for pc, if any.
 func (c *ChainProfile) Take(pc uint64) (trace.Profile, bool) {
-	p, ok := c.m[pc]
-	if ok {
-		delete(c.m, pc)
+	e := c.tab.lookup(pc)
+	if e == nil || !e.present {
+		return trace.Profile{}, false
 	}
-	return p, ok
+	p := e.prof
+	*e = chainSlot{}
+	c.count--
+	return p, true
 }
 
 // Len returns the number of live entries.
-func (c *ChainProfile) Len() int { return len(c.m) }
+func (c *ChainProfile) Len() int { return c.count }
 
 // Reset clears the table.
 func (c *ChainProfile) Reset() {
-	c.m = make(map[uint64]trace.Profile, c.capLimit)
+	c.tab.reset()
+	c.count = 0
 	c.order = nil
 	c.head = 0
 }

@@ -29,7 +29,7 @@ func inst(seq, pc uint64, ra, rb, rc isa.Reg) emu.Committed {
 func retireN(f *FillUnit, n int, startPC uint64) {
 	for i := 0; i < n; i++ {
 		pc := startPC + uint64(i*4)
-		f.Retire(RetireInfo{Rec: inst(uint64(i), pc, isa.ZeroReg, isa.ZeroReg, isa.R(1+i%20))})
+		f.Retire(&RetireInfo{Rec: inst(uint64(i), pc, isa.ZeroReg, isa.ZeroReg, isa.R(1+i%20))})
 	}
 }
 
@@ -57,11 +57,11 @@ func TestFriendlyPullsDependentToProducerCluster(t *testing.T) {
 	f := NewFillUnit(testConfig(Friendly), tc)
 	// Logical stream: i0 writes r1; 14 independent fillers; i15 reads r1.
 	// Base placement would put i15 in cluster 3, far from i0 in cluster 0.
-	f.Retire(RetireInfo{Rec: inst(0, 0x1000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
+	f.Retire(&RetireInfo{Rec: inst(0, 0x1000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
 	for i := 1; i < 15; i++ {
-		f.Retire(RetireInfo{Rec: inst(uint64(i), 0x1000+uint64(i*4), isa.ZeroReg, isa.ZeroReg, isa.R(10+i%10))})
+		f.Retire(&RetireInfo{Rec: inst(uint64(i), 0x1000+uint64(i*4), isa.ZeroReg, isa.ZeroReg, isa.R(10+i%10))})
 	}
-	f.Retire(RetireInfo{Rec: inst(15, 0x1000+60, isa.R(1), isa.ZeroReg, isa.R(2))})
+	f.Retire(&RetireInfo{Rec: inst(15, 0x1000+60, isa.R(1), isa.ZeroReg, isa.R(2))})
 	tr := lookup(tc, 0x1000)
 	if tr == nil {
 		t.Fatal("trace not installed")
@@ -77,7 +77,7 @@ func TestFriendlyMiddleBiasesMiddleClusters(t *testing.T) {
 	f := NewFillUnit(testConfig(FriendlyMiddle), tc)
 	// 8 independent instructions: all should land in the two middle clusters.
 	for i := 0; i < 8; i++ {
-		f.Retire(RetireInfo{Rec: inst(uint64(i), 0x1000+uint64(i*4), isa.ZeroReg, isa.ZeroReg, isa.R(1+i))})
+		f.Retire(&RetireInfo{Rec: inst(uint64(i), 0x1000+uint64(i*4), isa.ZeroReg, isa.ZeroReg, isa.R(1+i))})
 	}
 	f.Flush()
 	tr := lookup(tc, 0x1000)
@@ -96,12 +96,12 @@ func TestFriendlyMiddleBiasesMiddleClusters(t *testing.T) {
 // boundary and forwarding flags.
 func fdrtRetire(f *FillUnit, seq *uint64, pc uint64, interTrace bool, prodCluster int) {
 	prodSeq := *seq
-	f.Retire(RetireInfo{
+	f.Retire(&RetireInfo{
 		Rec:     inst(prodSeq, pc, isa.ZeroReg, isa.ZeroReg, isa.R(1)),
 		Cluster: prodCluster,
 	})
 	*seq++
-	f.Retire(RetireInfo{
+	f.Retire(&RetireInfo{
 		Rec:                 inst(*seq, pc+4, isa.R(1), isa.ZeroReg, isa.R(2)),
 		Cluster:             prodCluster,
 		CritSrc:             CritRS1,
@@ -196,7 +196,7 @@ func TestChainBitsDecayWhenNotCarried(t *testing.T) {
 	// the rebuilt line.
 	tc := trace.NewCache(trace.DefaultConfig())
 	f := NewFillUnit(testConfig(FDRT), tc)
-	f.Retire(RetireInfo{Rec: inst(0, 0x2100, isa.ZeroReg, isa.ZeroReg, isa.R(1))}) // no carried bits
+	f.Retire(&RetireInfo{Rec: inst(0, 0x2100, isa.ZeroReg, isa.ZeroReg, isa.R(1))}) // no carried bits
 	f.Flush()
 	tr := lookup(tc, 0x2100)
 	if tr == nil {
@@ -212,7 +212,7 @@ func TestCarriedBitsPropagateToNewLine(t *testing.T) {
 	tc := trace.NewCache(trace.DefaultConfig())
 	f := NewFillUnit(testConfig(FDRT), tc)
 	prof := trace.Profile{Role: trace.RoleFollower, ChainCluster: 2}
-	f.Retire(RetireInfo{
+	f.Retire(&RetireInfo{
 		Rec:     inst(0, 0x2200, isa.ZeroReg, isa.ZeroReg, isa.R(1)),
 		Profile: prof,
 		FromTC:  true,
@@ -236,7 +236,7 @@ func TestFDRTOptionBPlacesChainMemberOnChainCluster(t *testing.T) {
 	f := NewFillUnit(cfg, tc)
 	// Pre-establish a chain: pc 0x3000 is a follower pinned to cluster 2.
 	f.Chains().Set(0x3000, trace.Profile{Role: trace.RoleFollower, ChainCluster: 2})
-	f.Retire(RetireInfo{Rec: inst(0, 0x3000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
+	f.Retire(&RetireInfo{Rec: inst(0, 0x3000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
 	f.Flush()
 	tr := lookup(tc, 0x3000)
 	if tr == nil {
@@ -255,8 +255,8 @@ func TestFDRTOptionAPlacesConsumerWithProducer(t *testing.T) {
 	f := NewFillUnit(testConfig(FDRT), tc)
 	// Producer (no deps, has consumer -> option D, middle cluster), consumer
 	// with critical intra-trace dep -> option A, same cluster as producer.
-	f.Retire(RetireInfo{Rec: inst(0, 0x4000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
-	f.Retire(RetireInfo{
+	f.Retire(&RetireInfo{Rec: inst(0, 0x4000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
+	f.Retire(&RetireInfo{
 		Rec:             inst(1, 0x4004, isa.R(1), isa.ZeroReg, isa.R(2)),
 		CritSrc:         CritRS1,
 		CritForwarded:   true,
@@ -287,8 +287,8 @@ func TestFDRTOptionCAdaptivePrecedence(t *testing.T) {
 		tc := trace.NewCache(trace.DefaultConfig())
 		f := NewFillUnit(testConfig(FDRT), tc)
 		f.Chains().Set(0x5004, trace.Profile{Role: trace.RoleFollower, ChainCluster: 3})
-		f.Retire(RetireInfo{Rec: inst(0, 0x5000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
-		f.Retire(RetireInfo{
+		f.Retire(&RetireInfo{Rec: inst(0, 0x5000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
+		f.Retire(&RetireInfo{
 			Rec:             inst(1, 0x5004, isa.R(1), isa.ZeroReg, isa.R(2)),
 			CritSrc:         CritRS1,
 			CritForwarded:   true,
@@ -319,7 +319,7 @@ func TestFDRTOptionEInstructionsFallBack(t *testing.T) {
 	tc := trace.NewCache(trace.DefaultConfig())
 	f := NewFillUnit(testConfig(FDRT), tc)
 	// Instruction with no deps, no consumers, no chain: option E.
-	f.Retire(RetireInfo{Rec: emu.Committed{Seq: 0, PC: 0x6000, Inst: isa.Inst{Op: isa.OUT, Ra: isa.R(9)}}})
+	f.Retire(&RetireInfo{Rec: emu.Committed{Seq: 0, PC: 0x6000, Inst: isa.Inst{Op: isa.OUT, Ra: isa.R(9)}}})
 	f.Flush()
 	if f.S.OptionE != 1 {
 		t.Errorf("OptionE = %d", f.S.OptionE)
@@ -338,7 +338,7 @@ func TestFDRTCapacityRespected(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		pc := uint64(0x7000 + i*4)
 		f.Chains().Set(pc, trace.Profile{Role: trace.RoleFollower, ChainCluster: 1})
-		f.Retire(RetireInfo{Rec: inst(uint64(i), pc, isa.ZeroReg, isa.ZeroReg, isa.R(1+i%8))})
+		f.Retire(&RetireInfo{Rec: inst(uint64(i), pc, isa.ZeroReg, isa.ZeroReg, isa.R(1+i%8))})
 	}
 	tr := lookup(tc, 0x7000)
 	if tr == nil {
@@ -367,7 +367,7 @@ func TestMigrationStats(t *testing.T) {
 	// Same 4 PCs twice: base assignment is deterministic, so no migration.
 	for round := 0; round < 2; round++ {
 		for i := 0; i < 4; i++ {
-			f.Retire(RetireInfo{Rec: inst(uint64(round*4+i), uint64(0x8000+i*4), isa.ZeroReg, isa.ZeroReg, isa.R(1+i))})
+			f.Retire(&RetireInfo{Rec: inst(uint64(round*4+i), uint64(0x8000+i*4), isa.ZeroReg, isa.ZeroReg, isa.R(1+i))})
 		}
 		f.Flush()
 	}
@@ -460,7 +460,7 @@ func TestAssignmentValidityQuick(t *testing.T) {
 					info.CritInterTrace = r.Intn(3) == 0
 					info.CritProducerCluster = r.Intn(4)
 				}
-				fu.Retire(info)
+				fu.Retire(&info)
 			}
 			fu.Flush()
 			tr := lookup(tc, 0x9000)
@@ -506,7 +506,7 @@ func TestTraceProfilesRefreshedOnInstall(t *testing.T) {
 	tc := trace.NewCache(trace.DefaultConfig())
 	f := NewFillUnit(testConfig(FDRT), tc)
 	f.Chains().Set(0xA000, trace.Profile{Role: trace.RoleLeader, ChainCluster: 1})
-	f.Retire(RetireInfo{Rec: inst(0, 0xA000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
+	f.Retire(&RetireInfo{Rec: inst(0, 0xA000, isa.ZeroReg, isa.ZeroReg, isa.R(1))})
 	f.Flush()
 	tr := lookup(tc, 0xA000)
 	if tr.Slots[0].Profile.Role != trace.RoleLeader {

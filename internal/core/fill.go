@@ -79,8 +79,10 @@ type FillUnit struct {
 	pending []RetireInfo
 
 	// lastCluster tracks each static instruction's most recent assignment
-	// for the migration statistics of Table 9.
-	lastCluster map[uint64]int
+	// for the migration statistics of Table 9. It is updated for every slot
+	// of every built trace, so it uses the same dense PC-indexed layout as
+	// the chain table.
+	lastCluster pcMap[clusterSlot]
 
 	// Geometry-derived cluster orders, fixed for the fill unit's lifetime.
 	selfFirst [][]int // selfFirst[c] = [c, neighbors of c middle-most first]
@@ -95,7 +97,6 @@ type FillUnit struct {
 	consumers []bool
 	order     []int
 	nextSlot  []int
-	seqIdx    map[uint64]int
 
 	S FillStats
 }
@@ -107,11 +108,10 @@ func NewFillUnit(cfg Config, tc *trace.Cache) *FillUnit {
 		capLimit = 4 * cfg.Trace.Lines * cfg.Trace.MaxLen
 	}
 	f := &FillUnit{
-		cfg:         cfg,
-		builder:     trace.NewBuilder(cfg.Trace),
-		tc:          tc,
-		chains:      NewChainProfile(capLimit),
-		lastCluster: make(map[uint64]int),
+		cfg:     cfg,
+		builder: trace.NewBuilder(cfg.Trace),
+		tc:      tc,
+		chains:  NewChainProfile(capLimit),
 	}
 	g := cfg.Geom
 	f.selfFirst = make([][]int, g.Clusters)
@@ -140,7 +140,6 @@ func NewFillUnit(cfg Config, tc *trace.Cache) *FillUnit {
 	f.consumers = make([]bool, 0, cfg.Trace.MaxLen)
 	f.order = make([]int, 0, g.Clusters+2)
 	f.pending = make([]RetireInfo, 0, cfg.Trace.MaxLen)
-	f.seqIdx = make(map[uint64]int, cfg.Trace.MaxLen)
 	return f
 }
 
@@ -149,10 +148,12 @@ func NewFillUnit(cfg Config, tc *trace.Cache) *FillUnit {
 // inspect it).
 func (f *FillUnit) Chains() *ChainProfile { return f.chains }
 
-// Retire feeds one retired instruction to the fill unit.
-func (f *FillUnit) Retire(info RetireInfo) {
+// Retire feeds one retired instruction to the fill unit. The record is
+// copied once (into the pending buffer); it is passed by pointer because
+// RetireInfo is ~200 bytes and this is called once per retired instruction.
+func (f *FillUnit) Retire(info *RetireInfo) {
 	f.updateChains(info)
-	f.pending = append(f.pending, info)
+	f.pending = append(f.pending, *info)
 	if tr := f.builder.Add(info.Rec); tr != nil {
 		f.finishTrace(tr)
 	}
@@ -187,7 +188,7 @@ func (f *FillUnit) finishTrace(tr *trace.Trace) {
 // (their trace-line bits), overlaid with any still-pending designations;
 // new designations go to the pending table until the fill unit next builds
 // a trace containing the instruction.
-func (f *FillUnit) updateChains(info RetireInfo) {
+func (f *FillUnit) updateChains(info *RetireInfo) {
 	if !f.cfg.Strategy.UsesChains() || f.cfg.DisableChains {
 		return
 	}
@@ -200,7 +201,7 @@ func (f *FillUnit) updateChains(info RetireInfo) {
 	// not) to the cluster it executed on.
 	pPC := info.CritProducerPC
 	pProf := info.CritProducerProfile
-	if pend, ok := f.chains.m[pPC]; ok {
+	if pend, ok := f.chains.peek(pPC); ok {
 		pProf = pend
 	}
 	// Table 4 condition 2 for followers requires the producer to already be
@@ -227,7 +228,7 @@ func (f *FillUnit) updateChains(info RetireInfo) {
 	// and the producer supplied its last-arriving input from another trace.
 	cPC := info.Rec.PC
 	cProf := info.Profile
-	if pend, ok := f.chains.m[cPC]; ok {
+	if pend, ok := f.chains.peek(cPC); ok {
 		cProf = pend
 	}
 	_ = pMemberBefore
@@ -240,23 +241,31 @@ func (f *FillUnit) updateChains(info RetireInfo) {
 	}
 }
 
+// clusterSlot is one dense migration-history slot: the most recent cluster
+// assignment for a static PC plus its presence bit.
+type clusterSlot struct {
+	cluster int16
+	present bool
+}
+
 func (f *FillUnit) recordMigration(tr *trace.Trace) {
 	for i := range tr.Slots {
 		s := &tr.Slots[i]
-		if last, ok := f.lastCluster[s.PC]; ok {
+		e := f.lastCluster.ensure(s.PC)
+		if e.present {
 			f.S.Seen++
 			isChain := s.Profile.IsMember()
 			if isChain {
 				f.S.ChainSeen++
 			}
-			if last != s.Cluster {
+			if int(e.cluster) != s.Cluster {
 				f.S.Migrated++
 				if isChain {
 					f.S.ChainMigrated++
 				}
 			}
 		}
-		f.lastCluster[s.PC] = s.Cluster
+		*e = clusterSlot{cluster: int16(s.Cluster), present: true}
 	}
 }
 
@@ -427,13 +436,13 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) {
 	g := f.cfg.Geom
 	n := len(tr.Slots)
 	f.resetAssign(n)
-	// Map commit sequence numbers to logical indices for dynamic
-	// critical-producer identification.
-	clear(f.seqIdx)
-	if len(infos) == n {
-		for i, inf := range infos {
-			f.seqIdx[inf.Rec.Seq] = i
-		}
+	// Dynamic critical-producer identification maps commit sequence numbers
+	// to logical indices. The infos are consecutive retired instructions, so
+	// their Seqs are contiguous and the index is a subtraction (the equality
+	// check below keeps this exact even if a stream ever produced gaps).
+	var seqBase uint64
+	if len(infos) == n && n > 0 {
+		seqBase = infos[0].Rec.Seq
 	}
 	statics := f.intraProducers(tr)
 	consumers := f.intraConsumers(tr, statics)
@@ -450,9 +459,11 @@ func (f *FillUnit) fdrtAssign(tr *trace.Trace, infos []RetireInfo) {
 		if len(infos) == n {
 			inf := infos[i]
 			if inf.CritSrc != CritNone {
-				if j, ok := f.seqIdx[inf.CritProducerSeq]; ok && j < i && f.assigned[j] >= 0 {
-					prodCl = f.assigned[j]
-					critIntra = true
+				if seq := inf.CritProducerSeq; seq >= seqBase && seq < seqBase+uint64(n) {
+					if j := int(seq - seqBase); infos[j].Rec.Seq == seq && j < i && f.assigned[j] >= 0 {
+						prodCl = f.assigned[j]
+						critIntra = true
+					}
 				}
 			}
 		}

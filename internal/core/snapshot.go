@@ -55,15 +55,15 @@ func (ri *RetireInfo) Restore(r *snap.Reader) {
 func (c *ChainProfile) Snapshot(w *snap.Writer) {
 	w.Begin("chains")
 	w.Int(c.capLimit)
-	live := make([]uint64, 0, len(c.m))
-	seen := make(map[uint64]bool, len(c.m))
+	live := make([]uint64, 0, c.count)
+	seen := make(map[uint64]bool, c.count)
 	for i := len(c.order) - 1; i >= c.head; i-- {
 		pc := c.order[i]
 		if seen[pc] {
 			continue
 		}
 		seen[pc] = true
-		if _, ok := c.m[pc]; ok {
+		if c.Has(pc) {
 			live = append(live, pc)
 		}
 	}
@@ -71,13 +71,13 @@ func (c *ChainProfile) Snapshot(w *snap.Writer) {
 	for i, j := 0, len(live)-1; i < j; i, j = i+1, j-1 {
 		live[i], live[j] = live[j], live[i]
 	}
-	if len(live) != len(c.m) {
-		w.Failf("chain profile: %d live FIFO entries but %d table entries", len(live), len(c.m))
+	if len(live) != c.count {
+		w.Failf("chain profile: %d live FIFO entries but %d table entries", len(live), c.count)
 		return
 	}
 	w.Int(len(live))
 	for _, pc := range live {
-		p := c.m[pc]
+		p := c.Get(pc)
 		w.U64(pc)
 		w.U8(p.Role)
 		w.U8(p.ChainCluster)
@@ -97,9 +97,7 @@ func (c *ChainProfile) Restore(r *snap.Reader) {
 		r.Failf("chain profile has %d entries (capacity %d)", n, c.capLimit)
 		return
 	}
-	c.m = make(map[uint64]trace.Profile, c.capLimit)
-	c.order = nil
-	c.head = 0
+	c.Reset()
 	for i := 0; i < n; i++ {
 		pc := r.U64()
 		p := trace.Profile{Role: r.U8(), ChainCluster: r.U8()}
@@ -131,15 +129,17 @@ func (f *FillUnit) Snapshot(w *snap.Writer) {
 	for i := range f.pending {
 		f.pending[i].Snapshot(w)
 	}
-	pcs := make([]uint64, 0, len(f.lastCluster))
-	for pc := range f.lastCluster { //ctcp:lint-ok maporder -- keys are collected and sorted before use
-		pcs = append(pcs, pc)
-	}
+	pcs := make([]uint64, 0, 64)
+	f.lastCluster.forEach(func(pc uint64, e *clusterSlot) {
+		if e.present {
+			pcs = append(pcs, pc)
+		}
+	})
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	w.Int(len(pcs))
 	for _, pc := range pcs {
 		w.U64(pc)
-		w.Int(f.lastCluster[pc])
+		w.Int(int(f.lastCluster.lookup(pc).cluster))
 	}
 	// Geometry-derived orders, fixed at construction: not serialized.
 	_ = f.selfFirst
@@ -153,7 +153,6 @@ func (f *FillUnit) Snapshot(w *snap.Writer) {
 	_ = f.consumers
 	_ = f.order
 	_ = f.nextSlot
-	_ = f.seqIdx
 	w.U64(f.S.TracesBuilt)
 	w.U64(f.S.InstsBuilt)
 	w.U64(f.S.OptionA)
@@ -205,10 +204,10 @@ func (f *FillUnit) Restore(r *snap.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	f.lastCluster = make(map[uint64]int, nc)
+	f.lastCluster.reset()
 	for i := 0; i < nc; i++ {
 		pc := r.U64()
-		f.lastCluster[pc] = r.Int()
+		*f.lastCluster.ensure(pc) = clusterSlot{cluster: int16(r.Int()), present: true}
 	}
 	f.S.TracesBuilt = r.U64()
 	f.S.InstsBuilt = r.U64()

@@ -38,6 +38,17 @@ type Stream interface {
 	Next() (Committed, bool)
 }
 
+// StreamInto is optionally implemented by streams that can write the next
+// record in place. The pipeline pulls one Committed per simulated
+// instruction, and the by-value Stream contract copies the record once per
+// frame of the stream stack; implementations of StreamInto let that hottest
+// edge write straight into the consumer's buffer. On ok=false *c is
+// meaningless.
+type StreamInto interface {
+	Stream
+	NextInto(c *Committed) bool
+}
+
 // Fault is an architectural execution error (bad PC, wild memory access).
 type Fault struct {
 	PC     uint64
@@ -139,28 +150,51 @@ func fpBool(b bool) float64 {
 // Next implements Stream: it executes one instruction and returns its
 // committed record. ok=false after HALT or a fault.
 func (m *Machine) Next() (Committed, bool) {
-	if m.halted {
-		return Committed{}, false
-	}
-	c, err := m.Step()
-	if err != nil {
-		m.halted = true
-		m.fault = err
+	var c Committed
+	if !m.NextInto(&c) {
 		return Committed{}, false
 	}
 	return c, true
 }
 
+// NextInto implements StreamInto: like Next, but writes the record into *c,
+// skipping the by-value copy per return frame. On false *c is meaningless.
+func (m *Machine) NextInto(c *Committed) bool {
+	if m.halted {
+		return false
+	}
+	if err := m.StepInto(c); err != nil {
+		m.halted = true
+		m.fault = err
+		return false
+	}
+	return true
+}
+
 // Step executes exactly one instruction.
 func (m *Machine) Step() (Committed, error) {
+	var c Committed
+	if err := m.StepInto(&c); err != nil {
+		return Committed{}, err
+	}
+	return c, nil
+}
+
+// StepInto executes exactly one instruction, writing its committed record
+// into *c. The Committed struct travels from the interpreter through the
+// stream stack into the pipeline's fetch buffer once per simulated
+// instruction, so this hottest edge is written in place; Step and Next are
+// by-value conveniences layered on top. On error *c is partially written
+// and must be ignored.
+func (m *Machine) StepInto(c *Committed) error {
 	if m.halted {
-		return Committed{}, &Fault{m.PC, "machine is halted"}
+		return &Fault{m.PC, "machine is halted"}
 	}
 	inst, ok := m.prog.InstAt(m.PC)
 	if !ok {
-		return Committed{}, &Fault{m.PC, "pc outside text segment"}
+		return &Fault{m.PC, "pc outside text segment"}
 	}
-	c := Committed{Seq: m.seq, PC: m.PC, Inst: inst}
+	*c = Committed{Seq: m.seq, PC: m.PC, Inst: inst}
 	next := m.PC + isa.PCStride
 
 	opB := func() uint64 { // second integer operand: register or immediate
@@ -339,16 +373,16 @@ func (m *Machine) Step() (Committed, error) {
 		}
 
 	default:
-		return Committed{}, &Fault{m.PC, fmt.Sprintf("unimplemented opcode %v", inst.Op)}
+		return &Fault{m.PC, fmt.Sprintf("unimplemented opcode %v", inst.Op)}
 	}
 
 	if next%isa.PCStride != 0 {
-		return Committed{}, &Fault{m.PC, fmt.Sprintf("misaligned control target %#x", next)}
+		return &Fault{m.PC, fmt.Sprintf("misaligned control target %#x", next)}
 	}
 	c.NextPC = next
 	m.PC = next
 	m.seq++
-	return c, nil
+	return nil
 }
 
 // Run executes until HALT, a fault, or maxInsts committed instructions
@@ -371,6 +405,12 @@ type LimitStream struct {
 	S      Stream
 	Budget uint64
 	used   uint64
+
+	// into caches the S.(StreamInto) assertion after the first NextInto so
+	// the in-place path costs one nil check per record, not a type assertion.
+	// Lazily derived because LimitStream is constructed as a plain literal.
+	into      StreamInto
+	intoKnown bool
 }
 
 // Next implements Stream.
@@ -383,6 +423,28 @@ func (l *LimitStream) Next() (Committed, bool) {
 		l.used++
 	}
 	return c, ok
+}
+
+// NextInto implements StreamInto, passing the in-place write through to the
+// wrapped stream when it supports it.
+func (l *LimitStream) NextInto(c *Committed) bool {
+	if l.Budget != 0 && l.used >= l.Budget {
+		return false
+	}
+	if !l.intoKnown {
+		l.into, _ = l.S.(StreamInto)
+		l.intoKnown = true
+	}
+	var ok bool
+	if l.into != nil {
+		ok = l.into.NextInto(c)
+	} else {
+		*c, ok = l.S.Next()
+	}
+	if ok {
+		l.used++
+	}
+	return ok
 }
 
 // SliceStream replays a fixed slice of committed records; it is used heavily
@@ -400,4 +462,14 @@ func (s *SliceStream) Next() (Committed, bool) {
 	c := s.Recs[s.pos]
 	s.pos++
 	return c, true
+}
+
+// NextInto implements StreamInto.
+func (s *SliceStream) NextInto(c *Committed) bool {
+	if s.pos >= len(s.Recs) {
+		return false
+	}
+	*c = s.Recs[s.pos]
+	s.pos++
+	return true
 }

@@ -416,4 +416,3 @@ func sliceRooted(p *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
 		return false
 	}
 }
-

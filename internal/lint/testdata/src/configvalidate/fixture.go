@@ -6,11 +6,11 @@ package fixture
 import "errors"
 
 type Config struct {
-	ROBSize    int // validated directly
-	FetchWidth int // validated in a helper reached from Validate
+	ROBSize    int   // validated directly
+	FetchWidth int   // validated in a helper reached from Validate
 	MaxInsts   int64 // audited explicitly: no invariant to enforce
-	Forgotten  int // want:configvalidate
-	internal   int // unexported fields are not the analyzer's business
+	Forgotten  int   // want:configvalidate
+	internal   int   // unexported fields are not the analyzer's business
 }
 
 func (c Config) Validate() error {

@@ -8,40 +8,40 @@ package pipeline
 // allocation at all. Correctness against the original model is pinned by
 // the differential, determinism, and golden-stats tests.
 
-// infQueue is an in-place FIFO of in-flight instructions. popFront advances
-// a head index instead of reslicing (the old `q = q[1:]` drains leaked the
-// buffer's front and forced append to reallocate); the buffer is compacted
-// in place only when an append would otherwise grow it.
+// infQueue is an in-place FIFO of in-flight instruction ids. popFront
+// advances a head index instead of reslicing (the old `q = q[1:]` drains
+// leaked the buffer's front and forced append to reallocate); the buffer is
+// compacted in place only when an append would otherwise grow it.
 type infQueue struct {
-	buf  []*inflight
+	buf  []infID
 	head int
 }
 
-func (q *infQueue) len() int           { return len(q.buf) - q.head }
-func (q *infQueue) at(i int) *inflight { return q.buf[q.head+i] }
-func (q *infQueue) front() *inflight   { return q.buf[q.head] }
+func (q *infQueue) len() int       { return len(q.buf) - q.head }
+func (q *infQueue) at(i int) infID { return q.buf[q.head+i] }
+func (q *infQueue) front() infID   { return q.buf[q.head] }
 
-func (q *infQueue) push(inf *inflight) {
+func (q *infQueue) push(id infID) {
 	if len(q.buf) == cap(q.buf) && q.head > 0 {
 		n := copy(q.buf, q.buf[q.head:])
 		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil
+			q.buf[i] = noID
 		}
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
-	q.buf = append(q.buf, inf)
+	q.buf = append(q.buf, id)
 }
 
-func (q *infQueue) popFront() *inflight {
-	inf := q.buf[q.head]
-	q.buf[q.head] = nil
+func (q *infQueue) popFront() infID {
+	id := q.buf[q.head]
+	q.buf[q.head] = noID
 	q.head++
 	if q.head == len(q.buf) {
 		q.buf = q.buf[:0]
 		q.head = 0
 	}
-	return inf
+	return id
 }
 
 // portWindow is the ring size, in cycles, of the data-cache port schedule.
@@ -174,41 +174,24 @@ func (t *pcTable) slow(pc uint64) *pcStats {
 	return e
 }
 
-// allocInflight hands out a pooled record, fully zeroed. Steady state always
-// hits the free list: records recycle through reclaim, so the pool only
-// grows while the in-flight window is still ramping up.
-func (p *Pipeline) allocInflight() *inflight {
-	if n := len(p.scr.freeList); n > 0 {
-		inf := p.scr.freeList[n-1]
-		p.scr.freeList = p.scr.freeList[:n-1]
-		*inf = inflight{}
-		return inf
-	}
-	return newRecord()
-}
-
-// newRecord mints a fresh pool entry while the in-flight window ramps up to
-// its steady-state population (bounded by ROB size plus graveyard slack).
-//
-//ctcp:coldpath
-func newRecord() *inflight {
-	return &inflight{}
-}
-
-// reclaim moves retired records whose last possible referencer has itself
-// retired from the graveyard back to the free list. References to a record
-// X are only ever created while X is reachable through renameMap/lastStore,
-// i.e. by instructions renamed before X retired; X stamps the rename count
-// at its retirement into freeAfter, and once that many instructions have
-// retired (retirement is in rename order, and retiring clears outgoing
-// references) nothing can still point at X. pendingRedirect is the one
-// non-inflight pointer and blocks the queue head until the redirect clears.
+// reclaim releases retired slots whose last possible referencer has itself
+// retired from the graveyard back into the store's free list. References to
+// a record X are only ever created while X is reachable through
+// renameMap/lastStore, i.e. by instructions renamed before X retired; X
+// stamps the rename count at its retirement into freeAfter, and once that
+// many instructions have retired (retirement is in rename order, and
+// retiring clears outgoing references) nothing can still refer to X.
+// pendingRedirect is the one non-queue reference and blocks the queue head
+// until the redirect clears. Releasing bumps the slot's generation, so any
+// id that illegally survives reclamation fails the store's generation check.
 func (p *Pipeline) reclaim() {
 	for p.scr.graveyard.len() > 0 {
-		inf := p.scr.graveyard.front()
-		if inf.freeAfter > p.S.Retired || inf == p.pendingRedirect {
+		id := p.scr.graveyard.front()
+		idx := uint32(id)
+		if p.st.freeAfter[idx] > p.S.Retired || id == p.pendingRedirect {
 			return
 		}
-		p.scr.freeList = append(p.scr.freeList, p.scr.graveyard.popFront())
+		p.scr.graveyard.popFront()
+		p.st.release(idx)
 	}
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ctcp/internal/bpred"
 	"ctcp/internal/cachesim"
@@ -14,44 +15,10 @@ import (
 
 const unknown = int64(-1)
 
-// inflight is one instruction between fetch and retirement. Records are
-// pooled: retirement parks them in a graveyard until no older reference can
-// remain (see reclaim), after which they are reused for new fetches.
-type inflight struct {
-	rec     emu.Committed
-	fromTC  bool
-	group   uint64 // fetch-group (trace instance) identity
-	cluster int    // execution cluster (-1 until steered)
-	station cluster.RSKind
-	profile trace.Profile
-
-	renameReady   int64 // earliest rename cycle (fetch + decode done)
-	dispatchReady int64
-	rfReady       int64
-	inRS          bool
-	issued        bool
-	resultAt      int64 // cycle the result is available in its own cluster
-	doneAt        int64 // retirement eligibility
-	retired       bool
-
-	src       [2]isa.Reg
-	prod      [2]*inflight
-	prevStore *inflight
-	isLoad    bool
-	isStore   bool
-
-	mispredict bool
-
-	critSrc       core.CritSrc
-	critForwarded bool
-	critProd      *inflight
-
-	// freeAfter is the rename count stamped at retirement; the record is
-	// recycled once that many instructions have retired.
-	freeAfter uint64
-}
-
-// Pipeline is the cycle-level CTCP model.
+// Pipeline is the cycle-level CTCP model. Per-instruction in-flight state
+// lives in the struct-of-arrays store (see soa.go); every reference between
+// instructions — producer edges, the store-disambiguation chain, queues,
+// the rename map — is a generation-checked infID into that store.
 type Pipeline struct {
 	cfg  Config
 	geom cluster.Geometry
@@ -63,6 +30,12 @@ type Pipeline struct {
 	mem    *cachesim.Hierarchy
 
 	stream emu.Stream
+	// streamInto caches stream.(emu.StreamInto) so peek writes each record
+	// straight into peekedRec instead of copying it up the stream stack once
+	// per frame. Derived lazily (streamIntoKnown) because Run re-wraps the
+	// stream in a LimitStream after construction.
+	streamInto      emu.StreamInto
+	streamIntoKnown bool
 	// predictCond is p.bp.PredictCond bound once; creating the method value
 	// at every trace cache lookup allocated a closure per fetch.
 	predictCond func(uint64) bool
@@ -72,26 +45,48 @@ type Pipeline struct {
 
 	now int64
 
+	st infStore // per-instruction state, indexed by infID
+
 	rob    infQueue // program order; front is oldest
 	fetchQ infQueue
 
-	dispatchQ []infQueue  // per-cluster in-order queues (slot-based)
-	steerQ    []*inflight // global in-order queue (issue-time steering)
+	dispatchQ []infQueue // per-cluster in-order queues (slot-based)
+	steerQ    []infID    // global in-order queue (issue-time steering)
 
-	rsEntries [][]*inflight // per-cluster, age-ordered
-	rsCount   [][]int       // per-cluster per-station occupancy
-	fuFree    [][]int64     // per-cluster per-FU next-free cycle
+	// rsEntries is each cluster's reservation-station window in age order;
+	// issued entries become noID holes (their mask bits are clear, so the
+	// scan skips whole words of them for free) and the array is compacted
+	// only when it is mostly holes, keeping compaction cost amortized O(1)
+	// per dispatch. readyMask bit i set means rsEntries[c][i] is resolved
+	// and unissued; rsLive counts non-hole entries.
+	rsEntries [][]infID
+	readyMask [][]uint64
+	rsLive    []int
+	rsCount   [][]int   // per-cluster per-station occupancy
+	fuFree    [][]int64 // per-cluster per-FU next-free cycle
 
-	renameMap  [isa.NumRegs]*inflight
-	lastStore  *inflight
+	renameMap  [isa.NumRegs]infID
+	lastStore  infID
 	loadsInROB int
 	renamed    uint64 // total instructions renamed (pool recycling epoch)
+
+	// Store-disambiguation watermark: stores take a sequence number at
+	// rename; storeWatermark is the lowest seq not yet known-issued, so
+	// "every store older than barrier b has issued" is the single compare
+	// storeWatermark > b instead of a prevStore chain walk per cycle.
+	// storeRing marks issued seqs ahead of the watermark; loadWaitHead
+	// chains loads blocked until the watermark passes their barrier.
+	storeSeqNext   uint64
+	storeWatermark uint64
+	storeRingMask  uint64
+	storeRing      []bool
+	loadWaitHead   []uint32
 
 	sbDrain   []int64 // store buffer: drain completion times
 	lastDrain int64
 	ports     portSched
 
-	pendingRedirect *inflight
+	pendingRedirect infID
 	nextFetch       int64
 	btbBubble       int64
 	groupSeq        uint64
@@ -107,7 +102,7 @@ type Pipeline struct {
 	consumed   uint64
 	fetchLimit uint64
 
-	// scr groups the transient scratch state — object pools and per-cycle
+	// scr groups the transient scratch state — the graveyard and per-cycle
 	// buffers — that checkpointing deliberately excludes: a snapshot never
 	// serializes it, and a restored pipeline starts with the empty scratch
 	// its constructor built.
@@ -116,15 +111,13 @@ type Pipeline struct {
 	S Stats
 }
 
-// scratch holds the pipeline's pooled and per-cycle transient state,
-// segregated from the architectural and profile state that Snapshot must
-// capture. At a drained boundary the pools hold only recycled storage and
-// the per-cycle buffers are stale, so none of it carries information
-// forward.
+// scratch holds the pipeline's per-cycle transient state, segregated from
+// the architectural and profile state that Snapshot must capture. At a
+// drained boundary the graveyard holds only reclaimable slots and the
+// per-cycle buffers are stale, so none of it carries information forward.
 type scratch struct {
-	// Object pool: freeList holds recycled records, graveyard holds retired
-	// records whose references may still be live.
-	freeList  []*inflight
+	// graveyard holds retired slots whose references may still be live;
+	// reclaim recycles them back into the store's free list.
 	graveyard infQueue
 
 	// Per-cycle scratch, reused across cycles. writeUsed is the flattened
@@ -132,7 +125,11 @@ type scratch struct {
 	// group; clusterBudget is the per-cluster steering budget.
 	writeUsed     []int
 	clusterBudget []int
-	fetchBuf      []*inflight
+	fetchBuf      []uint32
+
+	// retire is the RetireInfo under construction for the instruction
+	// currently retiring; it is rebuilt from scratch for each one.
+	retire core.RetireInfo
 }
 
 // New builds a pipeline reading committed instructions from stream. The
@@ -163,16 +160,29 @@ func New(stream emu.Stream, cfg Config) *Pipeline {
 		Trace:         cfg.Trace,
 	}, p.tc)
 	p.dispatchQ = make([]infQueue, g.Clusters)
-	p.rsEntries = make([][]*inflight, g.Clusters)
+	p.rsEntries = make([][]infID, g.Clusters)
+	p.readyMask = make([][]uint64, g.Clusters)
+	p.rsLive = make([]int, g.Clusters)
 	p.rsCount = make([][]int, g.Clusters)
 	p.fuFree = make([][]int64, g.Clusters)
 	for c := 0; c < g.Clusters; c++ {
 		p.rsCount[c] = make([]int, cluster.NumRSKinds)
 		p.fuFree[c] = make([]int64, cluster.NumFUKinds)
 	}
+	// The watermark ring must cover every live store seq: outstanding
+	// (renamed, unissued) stores are bounded by ROB occupancy.
+	ring := 1
+	for ring < 2*(cfg.ROBSize+1) {
+		ring <<= 1
+	}
+	p.storeRing = make([]bool, ring)
+	p.loadWaitHead = make([]uint32, ring)
+	p.storeRingMask = uint64(ring - 1)
+	p.storeSeqNext = 1
+	p.storeWatermark = 1
 	p.scr.writeUsed = make([]int, g.Clusters*int(cluster.NumRSKinds))
 	p.scr.clusterBudget = make([]int, g.Clusters)
-	p.scr.fetchBuf = make([]*inflight, 0, cfg.FetchWidth)
+	p.scr.fetchBuf = make([]uint32, 0, cfg.FetchWidth)
 	return p
 }
 
@@ -184,6 +194,7 @@ func (p *Pipeline) FillUnit() *core.FillUnit { return p.fill }
 func (p *Pipeline) Run() *Stats {
 	if p.cfg.MaxInsts != 0 {
 		p.stream = &emu.LimitStream{S: p.stream, Budget: p.cfg.MaxInsts}
+		p.streamInto, p.streamIntoKnown = nil, false
 	}
 	p.runLoop((*Pipeline).done)
 	return p.Finish()
@@ -278,10 +289,10 @@ func (p *Pipeline) drained() bool {
 // running or a snapshot of it is restored into a fresh one: the pending
 // fetch redirect — whose instruction has necessarily retired by now — is
 // resolved exactly as the next cycle would have resolved it, and
-// fully-retired records are reclaimed into the pool (at a drained
-// boundary every graveyard record is reclaimable, so the pool state is
-// equivalent to the restored pipeline's empty pool: recycled records are
-// zeroed on allocation either way).
+// fully-retired slots are reclaimed into the store's free list (at a
+// drained boundary every graveyard slot is reclaimable, so the store is
+// equivalent to the restored pipeline's empty store: recycled slots are
+// cleared on allocation either way).
 func (p *Pipeline) pauseDrain() {
 	p.clearRedirect()
 	p.reclaim()
@@ -314,6 +325,7 @@ func (p *Pipeline) cycle() bool {
 
 // nextEvent returns the earliest future cycle at which anything can happen.
 func (p *Pipeline) nextEvent() int64 {
+	st := &p.st
 	best := int64(1 << 62)
 	consider := func(t int64) {
 		if t > p.now && t < best {
@@ -321,30 +333,33 @@ func (p *Pipeline) nextEvent() int64 {
 		}
 	}
 	for i := 0; i < p.rob.len(); i++ {
-		inf := p.rob.at(i)
-		if inf.issued && !inf.retired {
-			consider(inf.doneAt)
+		idx := uint32(p.rob.at(i))
+		if f := st.flags[idx]; f&fIssued != 0 && f&fRetired == 0 {
+			consider(st.doneAt[idx])
 		}
 	}
 	for c := range p.rsEntries {
-		for _, inf := range p.rsEntries[c] {
-			if t, _, _, _ := p.readiness(inf); t != unknown {
-				consider(t)
+		entries := p.rsEntries[c]
+		for w, m := range p.readyMask[c] {
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				consider(st.readyAt[uint32(entries[w<<6|b])])
 			}
 		}
 	}
 	if p.fetchQ.len() > 0 {
-		consider(p.fetchQ.front().renameReady)
+		consider(st.renameReady[uint32(p.fetchQ.front())])
 	}
 	for c := range p.dispatchQ {
 		if p.dispatchQ[c].len() > 0 {
-			consider(p.dispatchQ[c].front().dispatchReady)
+			consider(st.dispatchReady[uint32(p.dispatchQ[c].front())])
 		}
 	}
 	if len(p.steerQ) > 0 {
-		consider(p.steerQ[0].dispatchReady)
+		consider(st.dispatchReady[uint32(p.steerQ[0])])
 	}
-	if p.pendingRedirect == nil && !p.streamDone && (p.havePeek || !p.fetchPaused()) {
+	if p.pendingRedirect == noID && !p.streamDone && (p.havePeek || !p.fetchPaused()) {
 		// When fetch is paused with nothing buffered, no fetch event can
 		// fire until the next RunTo raises the limit; considering nextFetch
 		// here would crawl the idle fast-forward one cycle at a time into
@@ -371,20 +386,33 @@ func (p *Pipeline) peek() (*emu.Committed, bool) {
 		// resumes pulling records exactly where this one stopped.
 		return nil, false
 	}
-	rec, ok := p.stream.Next()
-	if !ok {
-		p.streamDone = true
-		return nil, false
+	if !p.streamIntoKnown {
+		p.streamInto, _ = p.stream.(emu.StreamInto)
+		p.streamIntoKnown = true
+	}
+	if p.streamInto != nil {
+		if !p.streamInto.NextInto(&p.peekedRec) {
+			p.streamDone = true
+			return nil, false
+		}
+	} else {
+		rec, ok := p.stream.Next()
+		if !ok {
+			p.streamDone = true
+			return nil, false
+		}
+		p.peekedRec = rec
 	}
 	p.consumed++
-	p.peekedRec = rec
 	p.havePeek = true
 	return &p.peekedRec, true
 }
 
-func (p *Pipeline) take() emu.Committed {
+// take consumes the peeked record; the pointer stays valid until the next
+// peek, and newInflight copies it into the store before then.
+func (p *Pipeline) take() *emu.Committed {
 	p.havePeek = false
-	return p.peekedRec
+	return &p.peekedRec
 }
 
 // --- fetch ---
@@ -393,7 +421,7 @@ func (p *Pipeline) take() emu.Committed {
 //
 //ctcp:hotpath
 func (p *Pipeline) fetch() bool {
-	if p.pendingRedirect != nil || p.now < p.nextFetch {
+	if p.pendingRedirect != noID || p.now < p.nextFetch {
 		return false
 	}
 	if p.fetchQ.len() >= 2*p.cfg.FetchWidth {
@@ -417,9 +445,9 @@ func (p *Pipeline) fetch() bool {
 			if !ok || r.PC != s.PC {
 				break // stream diverged (only possible after a redirect cut)
 			}
-			inf := p.newInflight(p.take(), true, group, s.Cluster, s.Profile)
-			consumed = append(consumed, inf)
-			if p.handleControl(inf, true) {
+			idx := p.newInflight(p.take(), true, group, s.Cluster, s.Profile)
+			consumed = append(consumed, idx)
+			if p.handleControl(idx, true) {
 				break
 			}
 		}
@@ -438,15 +466,15 @@ func (p *Pipeline) fetch() bool {
 				break
 			}
 			slot := len(consumed)
-			inf := p.newInflight(p.take(), false, group, p.geom.SlotCluster(slot), trace.Profile{})
-			consumed = append(consumed, inf)
-			if p.handleControl(inf, false) {
+			idx := p.newInflight(p.take(), false, group, p.geom.SlotCluster(slot), trace.Profile{})
+			consumed = append(consumed, idx)
+			if p.handleControl(idx, false) {
 				break
 			}
-			if inf.rec.IsTakenControl() {
+			if p.st.rec[idx].IsTakenControl() {
 				break // conventional fetch cannot pass a taken branch
 			}
-			expect = inf.rec.NextPC
+			expect = p.st.rec[idx].NextPC
 		}
 		p.S.ICGroupInsts += uint64(len(consumed))
 	}
@@ -456,85 +484,95 @@ func (p *Pipeline) fetch() bool {
 		p.nextFetch = p.now + 1
 		return false
 	}
-	for _, inf := range consumed {
-		inf.renameReady = p.now + fetchLat + int64(p.cfg.DecodeStages)
-		p.fetchQ.push(inf)
+	for _, idx := range consumed {
+		p.st.renameReady[idx] = p.now + fetchLat + int64(p.cfg.DecodeStages)
+		p.fetchQ.push(p.st.id(idx))
 	}
 	p.nextFetch = p.now + 1 + p.btbBubble
 	p.btbBubble = 0
 	return true
 }
 
-func (p *Pipeline) newInflight(rec emu.Committed, fromTC bool, group uint64, cl int, prof trace.Profile) *inflight {
-	inf := p.allocInflight()
-	inf.rec = rec
-	inf.fromTC = fromTC
-	inf.group = group
-	inf.cluster = cl
-	inf.profile = prof
-	inf.resultAt = unknown
-	inf.doneAt = unknown
+func (p *Pipeline) newInflight(rec *emu.Committed, fromTC bool, group uint64, cl int, prof trace.Profile) uint32 {
+	st := &p.st
+	idx := st.alloc()
+	st.rec[idx] = *rec
+	if fromTC {
+		st.flags[idx] |= fFromTC
+	}
+	st.group[idx] = group
+	st.cluster[idx] = int32(cl)
+	st.profile[idx] = prof
+	st.resultAt[idx] = unknown
+	st.doneAt[idx] = unknown
 	if p.cfg.Strategy.SteersAtIssue() {
-		inf.cluster = -1
+		st.cluster[idx] = -1
 	}
 	class := rec.Inst.Op.Class()
-	inf.isLoad = class.IsLoad()
-	inf.isStore = class.IsStore()
-	return inf
+	st.class[idx] = class
+	st.dest[idx] = rec.Inst.Dest()
+	if class.IsLoad() {
+		st.flags[idx] |= fIsLoad
+	}
+	if class.IsStore() {
+		st.flags[idx] |= fIsStore
+	}
+	return idx
 }
 
 // handleControl performs fetch-time prediction bookkeeping for a just-
 // consumed control instruction and reports whether the fetch group must stop
 // (misprediction or unpredictable target).
-func (p *Pipeline) handleControl(inf *inflight, fromTC bool) bool {
-	in := inf.rec.Inst
+func (p *Pipeline) handleControl(idx uint32, fromTC bool) bool {
+	rec := &p.st.rec[idx]
+	in := rec.Inst
 	if !in.IsControl() {
 		return false
 	}
 	switch {
 	case in.IsCond():
 		p.S.CondBranches++
-		_, correct := p.bp.PredictAndTrainCond(inf.rec.PC, inf.rec.Taken)
+		_, correct := p.bp.PredictAndTrainCond(rec.PC, rec.Taken)
 		if !correct {
 			p.S.Mispredicts++
-			inf.mispredict = true
-			p.pendingRedirect = inf
+			p.st.flags[idx] |= fMispredict
+			p.pendingRedirect = p.st.id(idx)
 			return true
 		}
-		if inf.rec.Taken && !fromTC {
+		if rec.Taken && !fromTC {
 			// Conventional fetch needs the BTB for the taken target.
-			if _, hit := p.bp.BTBLookup(inf.rec.PC); !hit {
+			if _, hit := p.bp.BTBLookup(rec.PC); !hit {
 				p.S.BTBBubbles++
 				p.btbBubble = int64(p.cfg.BTBMissBubble)
 			}
-			p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+			p.bp.BTBInsert(rec.PC, rec.NextPC)
 		}
 	case in.Op == isa.BR:
 		if !fromTC {
-			if _, hit := p.bp.BTBLookup(inf.rec.PC); !hit {
+			if _, hit := p.bp.BTBLookup(rec.PC); !hit {
 				p.S.BTBBubbles++
 				p.btbBubble = int64(p.cfg.BTBMissBubble)
 			}
-			p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+			p.bp.BTBInsert(rec.PC, rec.NextPC)
 		}
 	case in.Op == isa.JSR || in.Op == isa.JMP:
-		target, hit := p.bp.BTBLookup(inf.rec.PC)
-		p.bp.BTBInsert(inf.rec.PC, inf.rec.NextPC)
+		target, hit := p.bp.BTBLookup(rec.PC)
+		p.bp.BTBInsert(rec.PC, rec.NextPC)
 		if in.Op == isa.JSR {
-			p.bp.PushReturn(inf.rec.PC + isa.PCStride)
+			p.bp.PushReturn(rec.PC + isa.PCStride)
 		}
-		if !hit || target != inf.rec.NextPC {
+		if !hit || target != rec.NextPC {
 			p.S.IndirectMiss++
-			inf.mispredict = true
-			p.pendingRedirect = inf
+			p.st.flags[idx] |= fMispredict
+			p.pendingRedirect = p.st.id(idx)
 			return true
 		}
 	case in.Op == isa.RET:
 		target, ok := p.bp.PredictReturn()
-		if !ok || target != inf.rec.NextPC {
+		if !ok || target != rec.NextPC {
 			p.S.IndirectMiss++
-			inf.mispredict = true
-			p.pendingRedirect = inf
+			p.st.flags[idx] |= fMispredict
+			p.pendingRedirect = p.st.id(idx)
 			return true
 		}
 	}
@@ -542,8 +580,12 @@ func (p *Pipeline) handleControl(inf *inflight, fromTC bool) bool {
 }
 
 func (p *Pipeline) clearRedirect() {
-	if r := p.pendingRedirect; r != nil && r.issued && r.doneAt <= p.now {
-		p.pendingRedirect = nil
+	if p.pendingRedirect == noID {
+		return
+	}
+	idx := p.st.index(p.pendingRedirect)
+	if p.st.flags[idx]&fIssued != 0 && p.st.doneAt[idx] <= p.now {
+		p.pendingRedirect = noID
 		if next := p.now + 1; next > p.nextFetch {
 			p.nextFetch = next
 		}
@@ -558,54 +600,68 @@ func (p *Pipeline) clearRedirect() {
 //
 //ctcp:hotpath
 func (p *Pipeline) rename() bool {
+	st := &p.st
 	budget := p.cfg.FetchWidth
 	worked := false
 	for budget > 0 && p.fetchQ.len() > 0 {
-		inf := p.fetchQ.front()
-		if inf.renameReady > p.now {
+		id := p.fetchQ.front()
+		idx := uint32(id) // queue membership implies liveness
+		if st.renameReady[idx] > p.now {
 			break
 		}
 		if p.rob.len() >= p.cfg.ROBSize {
 			p.S.ROBFullStalls++
 			break
 		}
-		if inf.isLoad && p.loadsInROB >= p.cfg.LoadQueue {
+		isLoad := st.flags[idx]&fIsLoad != 0
+		if isLoad && p.loadsInROB >= p.cfg.LoadQueue {
 			p.S.LoadQFullStalls++
 			break
 		}
-		s1, s2 := inf.rec.Inst.Srcs()
-		inf.src = [2]isa.Reg{s1, s2}
-		for k, r := range inf.src {
+		s1, s2 := st.rec[idx].Inst.Srcs()
+		st.src[idx] = [2]isa.Reg{s1, s2}
+		for k, r := range st.src[idx] {
 			if r == isa.NoReg {
 				continue
 			}
 			// A value whose producer has already completed by rename time is
 			// read from the register file; only still-in-flight results are
 			// caught from the bypass/forwarding network.
-			if prod := p.renameMap[r]; prod != nil && !prod.retired &&
-				(prod.resultAt == unknown || prod.resultAt > p.now) {
-				inf.prod[k] = prod
+			if pid := p.renameMap[r]; pid != noID {
+				pi := st.index(pid)
+				if st.flags[pi]&fRetired == 0 &&
+					(st.resultAt[pi] == unknown || st.resultAt[pi] > p.now) {
+					st.prod[idx][k] = pid
+				}
 			}
 		}
-		inf.rfReady = p.now + int64(p.cfg.RenameStages+p.cfg.RFLat)
-		inf.dispatchReady = p.now + int64(p.cfg.RenameStages+p.cfg.SteerStages)
-		if d := inf.rec.Inst.Dest(); d != isa.NoReg {
-			p.renameMap[d] = inf
+		st.rfReady[idx] = p.now + int64(p.cfg.RenameStages+p.cfg.RFLat)
+		st.dispatchReady[idx] = p.now + int64(p.cfg.RenameStages+p.cfg.SteerStages)
+		if d := st.dest[idx]; d != isa.NoReg {
+			p.renameMap[d] = id
 		}
-		inf.prevStore = p.lastStore
-		if inf.isStore {
-			p.lastStore = inf
+		st.prevStore[idx] = p.lastStore
+		if st.flags[idx]&fIsStore != 0 {
+			p.lastStore = id
+			seq := p.storeSeqNext
+			p.storeSeqNext++
+			st.barrier[idx] = seq
+			p.storeRing[seq&p.storeRingMask] = false
+		} else if isLoad {
+			// The newest older store's seq: every store younger than it has
+			// a larger seq, so the watermark compare covers the whole chain.
+			st.barrier[idx] = p.storeSeqNext - 1
 		}
-		if inf.isLoad {
+		if isLoad {
 			p.loadsInROB++
 		}
 		p.fetchQ.popFront()
-		p.rob.push(inf)
+		p.rob.push(id)
 		p.renamed++
 		if p.cfg.Strategy.SteersAtIssue() {
-			p.steerQ = append(p.steerQ, inf)
+			p.steerQ = append(p.steerQ, id)
 		} else {
-			p.dispatchQ[inf.cluster].push(inf)
+			p.dispatchQ[st.cluster[idx]].push(id)
 		}
 		budget--
 		worked = true
@@ -625,6 +681,7 @@ func (p *Pipeline) wu(c int, st cluster.RSKind) *int {
 //
 //ctcp:hotpath
 func (p *Pipeline) dispatch() bool {
+	st := &p.st
 	worked := false
 	clear(p.scr.writeUsed)
 	if p.cfg.Strategy.SteersAtIssue() {
@@ -637,27 +694,28 @@ func (p *Pipeline) dispatch() bool {
 		// other clusters.
 		kept := p.steerQ[:0]
 		scanned := 0
-		for i, inf := range p.steerQ {
-			if budget <= 0 || inf.dispatchReady > p.now || scanned >= 2*p.geom.TotalWidth() {
+		for i, id := range p.steerQ {
+			idx := uint32(id) // queue membership implies liveness
+			if budget <= 0 || st.dispatchReady[idx] > p.now || scanned >= 2*p.geom.TotalWidth() {
 				kept = append(kept, p.steerQ[i:]...)
 				break
 			}
 			scanned++
-			c := p.steerTarget(inf)
+			c := p.steerTarget(idx)
 			if c >= 0 {
-				inf.cluster = c
-				if p.insertRS(inf, c) {
+				st.cluster[idx] = int32(c)
+				if p.insertRS(idx, c) {
 					p.scr.clusterBudget[c]--
 					budget--
 					worked = true
 					continue
 				}
-				inf.cluster = -1
+				st.cluster[idx] = -1
 			}
-			kept = append(kept, inf)
+			kept = append(kept, id)
 		}
 		for i := len(kept); i < len(p.steerQ); i++ {
-			p.steerQ[i] = nil
+			p.steerQ[i] = noID
 		}
 		p.steerQ = kept
 		return worked
@@ -665,11 +723,11 @@ func (p *Pipeline) dispatch() bool {
 	for c := 0; c < p.geom.Clusters; c++ {
 		n := 0
 		for n < p.geom.Width && p.dispatchQ[c].len() > 0 {
-			inf := p.dispatchQ[c].front()
-			if inf.dispatchReady > p.now {
+			idx := uint32(p.dispatchQ[c].front())
+			if st.dispatchReady[idx] > p.now {
 				break
 			}
-			if !p.insertRS(inf, c) {
+			if !p.insertRS(idx, c) {
 				break
 			}
 			p.dispatchQ[c].popFront()
@@ -684,13 +742,14 @@ func (p *Pipeline) dispatch() bool {
 // cluster generating one of its in-flight inputs (preferring the input
 // expected to arrive last), else balance load; at most Width instructions
 // per cluster per cycle.
-func (p *Pipeline) steerTarget(inf *inflight) int {
+func (p *Pipeline) steerTarget(idx uint32) int {
+	st := &p.st
 	usable := func(c int) bool {
 		if c < 0 || c >= p.geom.Clusters || p.scr.clusterBudget[c] <= 0 {
 			return false
 		}
-		for _, st := range cluster.StationsFor(inf.rec.Inst.Op.Class()) {
-			if p.rsCount[c][st] < p.cfg.RS.Entries && *p.wu(c, st) < p.cfg.RS.WritePorts {
+		for _, rs := range cluster.StationsFor(st.class[idx]) {
+			if p.rsCount[c][rs] < p.cfg.RS.Entries && *p.wu(c, rs) < p.cfg.RS.WritePorts {
 				return true
 			}
 		}
@@ -702,17 +761,21 @@ func (p *Pipeline) steerTarget(inf *inflight) int {
 	best := -1
 	var bestTime int64 = -1
 	for k := 0; k < 2; k++ {
-		prod := inf.prod[k]
-		if prod == nil || prod.retired || prod.cluster < 0 {
+		pid := st.prod[idx][k]
+		if pid == noID {
 			continue
 		}
-		t := prod.resultAt
+		pi := st.index(pid)
+		if st.flags[pi]&fRetired != 0 || st.cluster[pi] < 0 {
+			continue
+		}
+		t := st.resultAt[pi]
 		if t == unknown {
 			t = 1 << 60 // not yet issued: latest of all
 		}
 		if t > bestTime {
 			bestTime = t
-			best = prod.cluster
+			best = int(st.cluster[pi])
 		}
 	}
 	if best >= 0 && usable(best) {
@@ -725,8 +788,8 @@ func (p *Pipeline) steerTarget(inf *inflight) int {
 			continue
 		}
 		occ := 0
-		for st := 0; st < int(cluster.NumRSKinds); st++ {
-			occ += p.rsCount[c][st]
+		for rs := 0; rs < int(cluster.NumRSKinds); rs++ {
+			occ += p.rsCount[c][rs]
 		}
 		if occ < bestOcc {
 			bestOcc, target = occ, c
@@ -735,79 +798,120 @@ func (p *Pipeline) steerTarget(inf *inflight) int {
 	return target
 }
 
-func (p *Pipeline) insertRS(inf *inflight, c int) bool {
-	stations := cluster.StationsFor(inf.rec.Inst.Op.Class())
+func (p *Pipeline) insertRS(idx uint32, c int) bool {
+	st := &p.st
+	stations := cluster.StationsFor(st.class[idx])
 	best := cluster.RSKind(-1)
 	bestCount := 1 << 30
-	for _, st := range stations {
-		if p.rsCount[c][st] >= p.cfg.RS.Entries || *p.wu(c, st) >= p.cfg.RS.WritePorts {
+	for _, rs := range stations {
+		if p.rsCount[c][rs] >= p.cfg.RS.Entries || *p.wu(c, rs) >= p.cfg.RS.WritePorts {
 			continue
 		}
-		if p.rsCount[c][st] < bestCount {
-			bestCount = p.rsCount[c][st]
-			best = st
+		if p.rsCount[c][rs] < bestCount {
+			bestCount = p.rsCount[c][rs]
+			best = rs
 		}
 	}
 	if best < 0 {
 		return false
 	}
-	inf.station = best
-	inf.inRS = true
+	st.station[idx] = int32(best)
+	st.flags[idx] |= fInRS
 	p.rsCount[c][best]++
 	*p.wu(c, best)++
-	p.rsEntries[c] = append(p.rsEntries[c], inf)
+	pos := len(p.rsEntries[c])
+	p.rsEntries[c] = append(p.rsEntries[c], st.id(idx))
+	st.rsSlot[idx] = int32(pos)
+	p.rsLive[c]++
+	if pos>>6 >= len(p.readyMask[c]) {
+		p.readyMask[c] = append(p.readyMask[c], 0)
+	}
+	p.linkDeps(idx)
 	return true
+}
+
+// linkDeps registers a just-dispatched RS entry with every dependency whose
+// completion it must await: each register producer that has not issued yet
+// (an intrusive waiter list on the producer), and — for loads — the
+// store-disambiguation watermark if any older store is still unissued.
+// When nothing is outstanding the entry resolves immediately.
+//
+//ctcp:hotpath
+func (p *Pipeline) linkDeps(idx uint32) {
+	st := &p.st
+	wait := int32(0)
+	for k := 0; k < 2; k++ {
+		pid := st.prod[idx][k]
+		if pid == noID {
+			continue
+		}
+		pi := st.index(pid)
+		if st.resultAt[pi] == unknown {
+			node := idx*2 + uint32(k)
+			st.waiterNext[node] = st.waiterHead[pi]
+			st.waiterHead[pi] = node + 1
+			wait++
+		}
+	}
+	if st.flags[idx]&fIsLoad != 0 {
+		if b := st.barrier[idx]; b >= p.storeWatermark {
+			slot := b & p.storeRingMask
+			st.loadNext[idx] = p.loadWaitHead[slot]
+			p.loadWaitHead[slot] = idx + 1
+			wait++
+		}
+	}
+	st.waitCount[idx] = wait
+	if wait == 0 {
+		p.resolve(idx)
+	}
 }
 
 // --- issue / execute ---
 
 // effFwd returns the forwarding latency from producer to consumer with the
 // Figure 5 knobs applied.
-func (p *Pipeline) effFwd(prod, cons *inflight) int64 {
+func (p *Pipeline) effFwd(prod, cons uint32) int64 {
 	if p.cfg.ZeroAllFwdLat {
 		return 0
 	}
-	same := prod.group == cons.group
+	same := p.st.group[prod] == p.st.group[cons]
 	if p.cfg.ZeroIntraTrace && same {
 		return 0
 	}
 	if p.cfg.ZeroInterTrace && !same {
 		return 0
 	}
-	return int64(p.geom.ForwardLat(prod.cluster, cons.cluster))
+	return int64(p.geom.ForwardLat(int(p.st.cluster[prod]), int(p.st.cluster[cons])))
 }
 
-// readiness computes when inf's operands are all available in its cluster.
-// It returns the ready cycle (or unknown), the critical source, whether the
-// critical input is forwarded, and the critical producer.
-func (p *Pipeline) readiness(inf *inflight) (int64, core.CritSrc, bool, *inflight) {
+// resolve computes an RS entry's final ready cycle, critical source, and
+// critical producer once every dependency is known, then sets the entry's
+// ready-mask bit. Every term is fixed by now — producer resultAt and
+// cluster are set at the producer's issue, rfReady at rename — so this is
+// exactly the value the per-entry readiness() recompute used to converge
+// on at issue time, computed once instead of per cycle.
+//
+//ctcp:hotpath
+func (p *Pipeline) resolve(idx uint32) {
+	st := &p.st
 	var t [2]int64
 	var fwd [2]bool
-	present := [2]bool{inf.src[0] != isa.NoReg, inf.src[1] != isa.NoReg}
+	src := st.src[idx]
+	present := [2]bool{src[0] != isa.NoReg, src[1] != isa.NoReg}
 	for k := 0; k < 2; k++ {
 		if !present[k] {
 			t[k] = 0
 			continue
 		}
-		prod := inf.prod[k]
-		if prod == nil {
-			t[k] = inf.rfReady
+		pid := st.prod[idx][k]
+		if pid == noID {
+			t[k] = st.rfReady[idx]
 			continue
 		}
-		if prod.resultAt == unknown {
-			return unknown, core.CritNone, false, nil
-		}
-		t[k] = prod.resultAt + p.effFwd(prod, inf)
+		pi := st.index(pid)
+		t[k] = st.resultAt[pi] + p.effFwd(pi, idx)
 		fwd[k] = true
-	}
-	if inf.isLoad {
-		// Conservative disambiguation: every older store's address must be
-		// known (issued or retired) before the load may access memory.
-		for st := inf.prevStore; st != nil && !st.retired; st = st.prevStore {
-			if !st.issued {
-				return unknown, core.CritNone, false, nil
-			}
-		}
 	}
 	// Identify the critical (last-arriving) input.
 	crit := core.CritNone
@@ -824,22 +928,69 @@ func (p *Pipeline) readiness(inf *inflight) (int64, core.CritSrc, bool, *infligh
 		crit = core.CritRS2
 	}
 	ready := maxI64(t[0], t[1])
-	critFwd := false
-	var critProd *inflight
 	if crit != core.CritNone {
 		k := int(crit) - 1
-		critFwd = fwd[k]
-		critProd = inf.prod[k]
-		if critFwd && p.cfg.ZeroCritFwdLat {
-			// Only the last-arriving forward becomes free.
-			other := t[1-k]
-			if !present[1-k] {
-				other = 0
+		if fwd[k] {
+			st.flags[idx] |= fCritFwd
+			st.critProd[idx] = st.prod[idx][k]
+			if p.cfg.ZeroCritFwdLat {
+				// Only the last-arriving forward becomes free.
+				other := t[1-k]
+				if !present[1-k] {
+					other = 0
+				}
+				ready = maxI64(other, st.resultAt[st.index(st.prod[idx][k])])
 			}
-			ready = maxI64(other, critProd.resultAt)
 		}
 	}
-	return ready, crit, critFwd, critProd
+	st.critSrc[idx] = uint8(crit)
+	st.readyAt[idx] = ready
+	st.flags[idx] |= fResolved
+	pos := int(st.rsSlot[idx])
+	p.readyMask[st.cluster[idx]][pos>>6] |= 1 << uint(pos&63)
+}
+
+// wakeWaiters delivers a just-issued producer's resultAt to every RS entry
+// waiting on it; entries whose last dependency this was resolve immediately,
+// so a consumer later in this cycle's issue scan can still issue this cycle.
+//
+//ctcp:hotpath
+func (p *Pipeline) wakeWaiters(idx uint32) {
+	st := &p.st
+	for n := st.waiterHead[idx]; n != 0; {
+		node := n - 1
+		n = st.waiterNext[node]
+		st.waiterNext[node] = 0
+		ci := node >> 1
+		st.waitCount[ci]--
+		if st.waitCount[ci] == 0 {
+			p.resolve(ci)
+		}
+	}
+	st.waiterHead[idx] = 0
+}
+
+// storeIssued marks seq issued and advances the disambiguation watermark,
+// waking loads whose barrier the watermark passes.
+//
+//ctcp:hotpath
+func (p *Pipeline) storeIssued(seq uint64) {
+	st := &p.st
+	p.storeRing[seq&p.storeRingMask] = true
+	for p.storeWatermark < p.storeSeqNext && p.storeRing[p.storeWatermark&p.storeRingMask] {
+		slot := p.storeWatermark & p.storeRingMask
+		p.storeWatermark++
+		for n := p.loadWaitHead[slot]; n != 0; {
+			li := n - 1
+			n = st.loadNext[li]
+			st.loadNext[li] = 0
+			st.waitCount[li]--
+			if st.waitCount[li] == 0 {
+				p.resolve(li)
+			}
+		}
+		p.loadWaitHead[slot] = 0
+	}
 }
 
 func (p *Pipeline) freeFU(c int, class isa.Class) cluster.FUKind {
@@ -852,92 +1003,134 @@ func (p *Pipeline) freeFU(c int, class isa.Class) cluster.FUKind {
 }
 
 // issue wakes ready reservation-station entries and dispatches them to free
-// functional units.
+// functional units. The scan walks each cluster's ready bitmask in age
+// order (bit order == age order); unresolved entries cost nothing — whole
+// 64-entry words of them are skipped with one load.
 //
 //ctcp:hotpath
 func (p *Pipeline) issue() bool {
+	st := &p.st
 	worked := false
 	for c := 0; c < p.geom.Clusters; c++ {
 		entries := p.rsEntries[c]
-		issuedAny := false
-		for _, inf := range entries {
-			ready, crit, critFwd, critProd := p.readiness(inf)
-			if ready == unknown || ready > p.now {
-				continue
-			}
-			class := inf.rec.Inst.Op.Class()
-			fu := p.freeFU(c, class)
-			if fu < 0 {
-				continue
-			}
-			p.doIssue(inf, c, fu, crit, critFwd, critProd)
-			issuedAny = true
-			worked = true
-		}
-		if issuedAny {
-			keep := entries[:0]
-			for _, inf := range entries {
-				if !inf.issued {
-					keep = append(keep, inf)
+		mask := p.readyMask[c]
+		// Classes that already failed to find a free unit this cycle: FUs
+		// only get busier within a cycle (issuing books one, nothing frees
+		// one until the cycle advances), so a miss stays a miss and younger
+		// same-class entries can skip the unit scan.
+		var noFU uint32
+		for w := 0; w < len(mask); w++ {
+			m := mask[w]
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				// Mask membership implies liveness; the generation check
+				// stays on cross-record references, not ownership reads.
+				idx := uint32(entries[w<<6|b])
+				if st.readyAt[idx] > p.now {
+					continue
 				}
+				class := st.class[idx]
+				if noFU&(1<<class) != 0 {
+					continue
+				}
+				fu := p.freeFU(c, class)
+				if fu < 0 {
+					noFU |= 1 << class
+					continue
+				}
+				p.doIssue(idx, c, fu)
+				worked = true
+				// Re-read the word above the issued bit: issuing may have
+				// resolved younger entries in it this very cycle (a store
+				// unblocking a load), exactly as the per-entry recompute
+				// would have observed on its way down the age order.
+				m = mask[w] &^ (1<<(uint(b)+1) - 1)
+			}
+		}
+		// Compact only when the window is mostly holes (compaction preserves
+		// age order, so the mask scan's issue order is unaffected by when it
+		// happens). The length guard keeps small windows untouched; the 2×
+		// guard amortizes the O(len) rebuild to O(1) per dispatch.
+		if len(entries) >= 64 && 2*p.rsLive[c] < len(entries) {
+			keep := entries[:0]
+			for _, id := range entries {
+				if id == noID {
+					continue
+				}
+				st.rsSlot[uint32(id)] = int32(len(keep))
+				keep = append(keep, id)
 			}
 			for i := len(keep); i < len(entries); i++ {
-				entries[i] = nil
+				entries[i] = noID
 			}
 			p.rsEntries[c] = keep
+			for i := range mask {
+				mask[i] = 0
+			}
+			for pos, id := range keep {
+				if st.flags[uint32(id)]&fResolved != 0 {
+					mask[pos>>6] |= 1 << uint(pos&63)
+				}
+			}
 		}
 	}
 	return worked
 }
 
-func (p *Pipeline) doIssue(inf *inflight, c int, fu cluster.FUKind, crit core.CritSrc, critFwd bool, critProd *inflight) {
-	class := inf.rec.Inst.Op.Class()
-	lat := cluster.LatencyFor(class)
-	inf.issued = true
-	inf.inRS = false
-	p.rsCount[c][inf.station]--
+func (p *Pipeline) doIssue(idx uint32, c int, fu cluster.FUKind) {
+	st := &p.st
+	lat := cluster.LatencyFor(st.class[idx])
+	st.flags[idx] = (st.flags[idx] &^ fInRS) | fIssued
+	p.rsCount[c][st.station[idx]]--
+	// Leave a hole: clear the mask bit and detach the id so the slot skips
+	// for free until the next compaction.
+	pos := int(st.rsSlot[idx])
+	p.readyMask[c][pos>>6] &^= 1 << uint(pos&63)
+	p.rsEntries[c][pos] = noID
+	p.rsLive[c]--
 	p.fuFree[c][fu] = p.now + int64(lat.Issue)
 
-	inf.critSrc = crit
-	inf.critForwarded = critFwd
-	if critFwd {
-		inf.critProd = critProd
-	}
-	p.recordInputStats(inf)
+	p.recordInputStats(idx)
 
 	switch {
-	case inf.isLoad:
+	case st.flags[idx]&fIsLoad != 0:
 		p.S.Loads++
 		addrDone := p.now + int64(lat.Exec)
 		barrier := addrDone
-		var fwdStore *inflight
-		for st := inf.prevStore; st != nil; st = st.prevStore {
-			if st.retired {
+		fwdStore := uint32(0)
+		haveFwd := false
+		for sid := st.prevStore[idx]; sid != noID; {
+			si := st.index(sid)
+			if st.flags[si]&fRetired != 0 {
 				break
 			}
-			if st.resultAt > barrier {
-				barrier = st.resultAt
+			if st.resultAt[si] > barrier {
+				barrier = st.resultAt[si]
 			}
-			if fwdStore == nil && overlaps(st.rec, inf.rec) {
-				fwdStore = st
+			if !haveFwd && overlaps(st.rec[si], st.rec[idx]) {
+				fwdStore, haveFwd = si, true
 			}
+			sid = st.prevStore[si]
 		}
-		if fwdStore != nil {
+		if haveFwd {
 			p.S.StoreForwards++
-			inf.resultAt = maxI64(barrier, fwdStore.resultAt) + 1
+			st.resultAt[idx] = maxI64(barrier, st.resultAt[fwdStore]) + 1
 		} else {
 			start := p.portTime(barrier)
-			inf.resultAt = p.mem.Access(start, inf.rec.EA)
+			st.resultAt[idx] = p.mem.Access(start, st.rec[idx].EA)
 		}
-		inf.doneAt = inf.resultAt
-	case inf.isStore:
+		st.doneAt[idx] = st.resultAt[idx]
+	case st.flags[idx]&fIsStore != 0:
 		p.S.Stores++
-		inf.resultAt = p.now + int64(lat.Exec)
-		inf.doneAt = inf.resultAt
+		st.resultAt[idx] = p.now + int64(lat.Exec)
+		st.doneAt[idx] = st.resultAt[idx]
+		p.storeIssued(st.barrier[idx])
 	default:
-		inf.resultAt = p.now + int64(lat.Exec)
-		inf.doneAt = inf.resultAt
+		st.resultAt[idx] = p.now + int64(lat.Exec)
+		st.doneAt[idx] = st.resultAt[idx]
 	}
+	p.wakeWaiters(idx)
 }
 
 func overlaps(store, load emu.Committed) bool {
@@ -954,25 +1147,28 @@ func (p *Pipeline) portTime(t int64) int64 {
 	return p.ports.book(t, p.cfg.Mem.Ports)
 }
 
-func (p *Pipeline) recordInputStats(inf *inflight) {
-	if inf.critSrc == core.CritNone {
+func (p *Pipeline) recordInputStats(idx uint32) {
+	st := &p.st
+	critSrc := core.CritSrc(st.critSrc[idx])
+	if critSrc == core.CritNone {
 		return
 	}
+	critFwd := st.flags[idx]&fCritFwd != 0
 	p.S.WithInputs++
 	interTrace := false
-	if inf.critForwarded {
+	if critFwd {
 		p.S.CritForwarded++
-		prod := inf.critProd
-		dist := p.geom.Distance(prod.cluster, inf.cluster)
+		pi := st.index(st.critProd[idx])
+		dist := p.geom.Distance(int(st.cluster[pi]), int(st.cluster[idx]))
 		p.S.CritDistSum += uint64(dist)
 		if dist == 0 {
 			p.S.CritIntraCluster++
 		}
-		if prod.group != inf.group {
+		if st.group[pi] != st.group[idx] {
 			interTrace = true
 			p.S.CritInterTrace++
 		}
-		switch inf.critSrc {
+		switch critSrc {
 		case core.CritRS1:
 			p.S.CritFromRS1++
 		case core.CritRS2:
@@ -984,54 +1180,56 @@ func (p *Pipeline) recordInputStats(inf *inflight) {
 	// Producer repeatability (Table 3): all forwarded inputs...
 	var hist *pcStats
 	for k := 0; k < 2; k++ {
-		prod := inf.prod[k]
-		if prod == nil || inf.src[k] == isa.NoReg {
+		pid := st.prod[idx][k]
+		if pid == noID || st.src[idx][k] == isa.NoReg {
 			continue
 		}
+		pi := st.index(pid)
 		p.S.FwdInputs++
-		d := p.geom.Distance(prod.cluster, inf.cluster)
+		d := p.geom.Distance(int(st.cluster[pi]), int(st.cluster[idx]))
 		p.S.FwdDistSum += uint64(d)
 		if d == 0 {
 			p.S.FwdIntraCluster++
 		}
 		if hist == nil {
-			hist = p.pcHist.statsFor(inf.rec.PC, isa.PCStride)
+			hist = p.pcHist.statsFor(st.rec[idx].PC, isa.PCStride)
 		}
 		if hist.lastProd[k] != 0 {
 			if k == 0 {
 				p.S.RS1Seen++
-				if hist.lastProd[k] == prod.rec.PC {
+				if hist.lastProd[k] == st.rec[pi].PC {
 					p.S.RS1Repeat++
 				}
 			} else {
 				p.S.RS2Seen++
-				if hist.lastProd[k] == prod.rec.PC {
+				if hist.lastProd[k] == st.rec[pi].PC {
 					p.S.RS2Repeat++
 				}
 			}
 		}
-		hist.lastProd[k] = prod.rec.PC
+		hist.lastProd[k] = st.rec[pi].PC
 	}
 	// ...and critical inter-trace inputs only.
-	if inf.critForwarded && interTrace {
-		k := int(inf.critSrc) - 1
+	if critFwd && interTrace {
+		k := int(critSrc) - 1
+		cp := st.index(st.critProd[idx])
 		if hist == nil {
-			hist = p.pcHist.statsFor(inf.rec.PC, isa.PCStride)
+			hist = p.pcHist.statsFor(st.rec[idx].PC, isa.PCStride)
 		}
 		if hist.lastCritInter[k] != 0 {
 			if k == 0 {
 				p.S.CritRS1InterSeen++
-				if hist.lastCritInter[k] == inf.critProd.rec.PC {
+				if hist.lastCritInter[k] == st.rec[cp].PC {
 					p.S.CritRS1InterRep++
 				}
 			} else {
 				p.S.CritRS2InterSeen++
-				if hist.lastCritInter[k] == inf.critProd.rec.PC {
+				if hist.lastCritInter[k] == st.rec[cp].PC {
 					p.S.CritRS2InterRep++
 				}
 			}
 		}
-		hist.lastCritInter[k] = inf.critProd.rec.PC
+		hist.lastCritInter[k] = st.rec[cp].PC
 	}
 }
 
@@ -1053,14 +1251,16 @@ func (p *Pipeline) sbOccupied() int {
 //
 //ctcp:hotpath
 func (p *Pipeline) retire() bool {
+	st := &p.st
 	budget := p.cfg.RetireWidth
 	worked := false
 	for budget > 0 && p.rob.len() > 0 {
-		inf := p.rob.front()
-		if !inf.issued || inf.doneAt > p.now {
+		id := p.rob.front()
+		idx := uint32(id) // ROB membership implies liveness
+		if st.flags[idx]&fIssued == 0 || st.doneAt[idx] > p.now {
 			break
 		}
-		if inf.isStore {
+		if st.flags[idx]&fIsStore != 0 {
 			if p.sbOccupied() >= p.cfg.StoreBuffer {
 				p.S.SBFullStalls++
 				break
@@ -1070,40 +1270,41 @@ func (p *Pipeline) retire() bool {
 				drain = p.now
 			}
 			p.lastDrain = drain
-			done := p.mem.Access(p.portTime(drain), inf.rec.EA)
+			done := p.mem.Access(p.portTime(drain), st.rec[idx].EA)
 			p.sbDrain = append(p.sbDrain, done)
 		}
-		inf.retired = true
-		if inf.isLoad {
+		st.flags[idx] |= fRetired
+		if st.flags[idx]&fIsLoad != 0 {
 			p.loadsInROB--
 		}
 		p.rob.popFront()
 		p.S.Retired++
-		if inf.fromTC {
+		if st.flags[idx]&fFromTC != 0 {
 			p.S.RetiredFromTC++
 		}
-		info := p.retireInfo(inf)
+		info := &p.scr.retire
+		p.retireInfo(idx, info)
 		p.fill.Retire(info)
 		if p.cfg.RetireHook != nil {
-			p.cfg.RetireHook(info)
+			p.cfg.RetireHook(*info)
 		}
-		// Drop outgoing references so retired records don't chain-retain the
-		// whole execution history; fields of *this* record stay valid for
-		// any younger consumers still holding a pointer to it. The record
-		// itself is parked in the graveyard until those consumers retire,
-		// then recycled (see reclaim). Rename-visible aliases are severed
-		// here so no new references can form after retirement.
-		inf.prod[0], inf.prod[1] = nil, nil
-		inf.critProd = nil
-		inf.prevStore = nil
-		if d := inf.rec.Inst.Dest(); d != isa.NoReg && p.renameMap[d] == inf {
-			p.renameMap[d] = nil
+		// Drop outgoing references so retired slots don't chain-retain the
+		// whole execution history; fields of *this* slot stay valid for any
+		// younger consumers still holding its id. The slot itself is parked
+		// in the graveyard until those consumers retire, then recycled with
+		// a generation bump (see reclaim). Rename-visible aliases are
+		// severed here so no new references can form after retirement.
+		st.prod[idx] = [2]infID{}
+		st.critProd[idx] = noID
+		st.prevStore[idx] = noID
+		if d := st.dest[idx]; d != isa.NoReg && p.renameMap[d] == id {
+			p.renameMap[d] = noID
 		}
-		if p.lastStore == inf {
-			p.lastStore = nil
+		if p.lastStore == id {
+			p.lastStore = noID
 		}
-		inf.freeAfter = p.renamed
-		p.scr.graveyard.push(inf)
+		st.freeAfter[idx] = p.renamed
+		p.scr.graveyard.push(id)
 		p.lastRetireCycle = p.now
 		budget--
 		worked = true
@@ -1114,24 +1315,28 @@ func (p *Pipeline) retire() bool {
 	return worked
 }
 
-func (p *Pipeline) retireInfo(inf *inflight) core.RetireInfo {
-	info := core.RetireInfo{
-		Rec:        inf.rec,
-		FromTC:     inf.fromTC,
-		Profile:    inf.profile,
-		Cluster:    inf.cluster,
-		FetchGroup: inf.group,
-		CritSrc:    inf.critSrc,
+// retireInfo fills *info (the retire scratch slot) for the fill unit; the
+// struct is ~200 bytes and built once per retired instruction, so it is
+// written in place instead of returned by value.
+func (p *Pipeline) retireInfo(idx uint32, info *core.RetireInfo) {
+	st := &p.st
+	*info = core.RetireInfo{
+		Rec:        st.rec[idx],
+		FromTC:     st.flags[idx]&fFromTC != 0,
+		Profile:    st.profile[idx],
+		Cluster:    int(st.cluster[idx]),
+		FetchGroup: st.group[idx],
+		CritSrc:    core.CritSrc(st.critSrc[idx]),
 	}
-	if inf.critForwarded && inf.critProd != nil {
+	if st.flags[idx]&fCritFwd != 0 && st.critProd[idx] != noID {
+		cp := st.index(st.critProd[idx])
 		info.CritForwarded = true
-		info.CritProducerPC = inf.critProd.rec.PC
-		info.CritProducerSeq = inf.critProd.rec.Seq
-		info.CritProducerCluster = inf.critProd.cluster
-		info.CritInterTrace = inf.critProd.group != inf.group
-		info.CritProducerProfile = inf.critProd.profile
+		info.CritProducerPC = st.rec[cp].PC
+		info.CritProducerSeq = st.rec[cp].Seq
+		info.CritProducerCluster = int(st.cluster[cp])
+		info.CritInterTrace = st.group[cp] != st.group[idx]
+		info.CritProducerProfile = st.profile[cp]
 	}
-	return info
 }
 
 // debugDump renders one cycle's occupancy for Config.TraceCycles. (It was
@@ -1147,7 +1352,7 @@ func (p *Pipeline) debugDump() string {
 		}
 		sb = fmt.Appendf(sb, " %2d", occ)
 	}
-	if p.pendingRedirect != nil {
+	if p.pendingRedirect != noID {
 		sb = append(sb, " | redirect"...)
 	}
 	sb = fmt.Appendf(sb, " | retired %d", p.S.Retired)

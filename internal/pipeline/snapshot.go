@@ -18,19 +18,21 @@ func (p *Pipeline) snapReady() string {
 	switch {
 	case p.havePeek:
 		return "a committed record is buffered"
-	case p.pendingRedirect != nil:
+	case p.pendingRedirect != noID:
 		return "a fetch redirect is pending"
 	case p.rob.len() != 0:
 		return "the ROB is not empty"
 	case p.fetchQ.len() != 0:
 		return "the fetch queue is not empty"
-	case p.lastStore != nil:
+	case p.lastStore != noID:
 		return "a store is still tracked for forwarding"
 	case p.loadsInROB != 0:
 		return "loads are still in flight"
+	case p.storeWatermark != p.storeSeqNext:
+		return "a store is still unissued in the disambiguation window"
 	}
 	for i := range p.steerQ {
-		if p.steerQ[i] != nil {
+		if p.steerQ[i] != noID {
 			return "the steering queue is not empty"
 		}
 	}
@@ -46,15 +48,32 @@ func (p *Pipeline) snapReady() string {
 			}
 		}
 	}
+	for c := range p.rsLive {
+		if p.rsLive[c] != 0 {
+			return "a reservation station window has live entries"
+		}
+	}
 	for c := range p.rsEntries {
 		for s := range p.rsEntries[c] {
-			if p.rsEntries[c][s] != nil {
+			if p.rsEntries[c][s] != noID {
 				return "a reservation station entry is live"
 			}
 		}
 	}
+	for c := range p.readyMask {
+		for _, w := range p.readyMask[c] {
+			if w != 0 {
+				return "a ready-mask bit is set"
+			}
+		}
+	}
+	for _, n := range p.loadWaitHead {
+		if n != 0 {
+			return "a load is waiting on the store watermark"
+		}
+	}
 	for r := range p.renameMap {
-		if p.renameMap[r] != nil {
+		if p.renameMap[r] != noID {
 			return "the rename map has live producers"
 		}
 	}
@@ -106,10 +125,26 @@ func (p *Pipeline) Snapshot(w *snap.Writer) {
 
 	// The buffered peek is empty at a drained boundary (asserted above);
 	// predictCond is p.bp.PredictCond rebound by New; scr is pooled and
-	// per-cycle scratch that a restored pipeline rebuilds empty.
+	// per-cycle scratch that a restored pipeline rebuilds empty. The inflight
+	// store holds no live slot at a drained boundary (snapReady checks every
+	// structure that could reference one), so it is equivalent to the fresh
+	// store a restored pipeline starts with: recycled slots are cleared on
+	// allocation either way, and generations are never observable across the
+	// boundary. The disambiguation ring's contents behind the watermark are
+	// don't-care by construction (snapReady asserts the watermark has caught
+	// up to the sequence counter, and both counters only ever appear in
+	// relative comparisons, so a restored pipeline restarting them at 1
+	// schedules identically).
 	_ = p.peekedRec
 	_ = p.predictCond
 	_ = p.scr
+	_ = p.st
+	_ = p.storeRing
+	_ = p.storeRingMask
+	// The StreamInto cache is derived from the stream field (re-derived
+	// lazily after restore).
+	_ = p.streamInto
+	_ = p.streamIntoKnown
 
 	if cs, ok := p.stream.(snap.Checkpointable); ok {
 		cs.Snapshot(w)
@@ -178,7 +213,7 @@ func (p *Pipeline) Restore(r *snap.Reader) {
 
 	p.havePeek = false
 	p.peekedRec = emu.Committed{}
-	p.pendingRedirect = nil
+	p.pendingRedirect = noID
 
 	if cs, ok := p.stream.(snap.Checkpointable); ok {
 		cs.Restore(r)

@@ -1,0 +1,290 @@
+package pipeline
+
+// Tests for the struct-of-arrays inflight store: generation-checked id
+// recycling, the incremental bitmask wakeup against the per-entry readiness
+// recompute the pooled build performed, and checkpoint-format compatibility
+// with a snapshot written by the pooled-record build.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+	"ctcp/internal/snap"
+	"ctcp/internal/workload"
+)
+
+// TestStaleInfIDPanicsInvariantError: releasing a slot bumps its generation,
+// so a reference created before the release must fail the generation check
+// with *core.InvariantError (not a silent read of the slot's next tenant).
+func TestStaleInfIDPanicsInvariantError(t *testing.T) {
+	var st infStore
+	idx := st.alloc()
+	id := st.id(idx)
+	st.release(idx)
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("index(stale id) did not panic")
+		}
+		ie, ok := rec.(*core.InvariantError)
+		if !ok {
+			t.Fatalf("panic value is %T (%v), want *core.InvariantError", rec, rec)
+		}
+		if ie.Msg == "" {
+			t.Fatal("InvariantError carries no message")
+		}
+	}()
+	st.index(id)
+}
+
+// TestInfIDSlotReuse: the free list hands the same slot back, but under a
+// new generation — the old id is dead, the new one resolves.
+func TestInfIDSlotReuse(t *testing.T) {
+	var st infStore
+	a := st.alloc()
+	idA := st.id(a)
+	st.release(a)
+
+	b := st.alloc()
+	if b != a {
+		t.Fatalf("free list did not recycle the slot: got %d, want %d", b, a)
+	}
+	idB := st.id(b)
+	if idA == idB {
+		t.Fatal("recycled slot produced an identical id (generation not bumped)")
+	}
+	if got := st.index(idB); got != b {
+		t.Fatalf("fresh id resolved to slot %d, want %d", got, b)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stale id resolved after its slot was recycled")
+			}
+		}()
+		st.index(idA)
+	}()
+}
+
+// TestStaleInfIDRecoveredAsSimError: the run boundary (RunProgramErr, which
+// the experiment runner and ctcpbench use) converts an InvariantError panic
+// anywhere inside the model into a *SimError instead of crashing the sweep.
+// The panic is provoked through a real invariant breach — a geometry with
+// no clusters gives steering no valid target — because a stale id cannot be
+// injected from outside the model; TestStaleInfIDPanicsInvariantError above
+// pins the panic type the id check raises, and this test pins the recovery.
+func TestStaleInfIDRecoveredAsSimError(t *testing.T) {
+	bm, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip kernel missing")
+	}
+	cfg := DefaultConfig().WithStrategy(core.FDRT, false)
+	cfg.MaxInsts = 2000
+	cfg.Geom.Clusters = 0
+	stats, err := RunProgramErr(bm.ProgramFor(2000), cfg)
+	if err == nil {
+		t.Fatal("pathological configuration did not abort")
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("run boundary returned %T (%v), want *SimError", err, err)
+	}
+	if stats != nil {
+		t.Fatal("aborted run returned non-nil stats")
+	}
+}
+
+// readinessRef recomputes an RS entry's ready cycle from first principles —
+// the formula the pooled build's per-entry readiness() evaluated on every
+// scan: each register input arrives either from the register file (rfReady)
+// or from its in-flight producer (resultAt + forward latency), and the
+// entry is ready when the last input lands. It mirrors resolve() without
+// touching any of resolve's outputs.
+func readinessRef(p *Pipeline, idx uint32) int64 {
+	st := &p.st
+	var t [2]int64
+	var fwd [2]bool
+	src := st.src[idx]
+	present := [2]bool{src[0] != isa.NoReg, src[1] != isa.NoReg}
+	for k := 0; k < 2; k++ {
+		if !present[k] {
+			continue
+		}
+		pid := st.prod[idx][k]
+		if pid == noID {
+			t[k] = st.rfReady[idx]
+			continue
+		}
+		pi := st.index(pid)
+		t[k] = st.resultAt[pi] + p.effFwd(pi, idx)
+		fwd[k] = true
+	}
+	ready := maxI64(t[0], t[1])
+	if p.cfg.ZeroCritFwdLat {
+		crit := -1
+		switch {
+		case present[0] && present[1]:
+			if t[1] > t[0] {
+				crit = 1
+			} else {
+				crit = 0
+			}
+		case present[0]:
+			crit = 0
+		case present[1]:
+			crit = 1
+		}
+		if crit >= 0 && fwd[crit] {
+			other := t[1-crit]
+			if !present[1-crit] {
+				other = 0
+			}
+			ready = maxI64(other, st.resultAt[st.index(st.prod[idx][crit])])
+		}
+	}
+	return ready
+}
+
+// TestWakeupMatchesReadinessRecompute steps gzip cycle by cycle and
+// cross-checks the incremental wakeup machinery against the per-entry
+// recompute on the recorded scheduling trace:
+//
+//	(a) a live RS entry's ready-mask bit is set iff the entry is resolved,
+//	(b) the moment an entry resolves, its readyAt equals the reference
+//	    recomputation from its producers' resultAt and the RF time,
+//	(c) nothing issues before the cycle it was declared ready for.
+func TestWakeupMatchesReadinessRecompute(t *testing.T) {
+	bm, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip kernel missing")
+	}
+	const insts = 8_000
+	cfg := DefaultConfig().WithStrategy(core.FDRT, false)
+	cfg.MaxInsts = insts
+	p := New(&emu.LimitStream{S: emu.New(bm.ProgramFor(insts)), Budget: insts}, cfg)
+
+	st := &p.st
+	pendingReady := map[infID]int64{} // resolved but not yet issued
+	checked := 0
+	for !p.done() {
+		cyc := p.now
+		worked := p.cycle()
+
+		// (c) entries that issued this cycle were due: issue clears them out
+		// of the RS, so detect the flag transition on still-live slots.
+		for id, ready := range pendingReady {
+			idx := uint32(id)
+			if idx >= uint32(len(st.gen)) || st.gen[idx] != uint32(id>>32) {
+				delete(pendingReady, id) // retired and recycled
+				continue
+			}
+			if st.flags[idx]&fIssued != 0 {
+				if cyc < ready {
+					t.Fatalf("cycle %d: slot %d issued before its ready cycle %d", cyc, idx, ready)
+				}
+				delete(pendingReady, id)
+			}
+		}
+
+		for c := range p.rsEntries {
+			for pos, id := range p.rsEntries[c] {
+				if id == noID {
+					continue
+				}
+				idx := uint32(id)
+				bit := p.readyMask[c][pos>>6]&(1<<uint(pos&63)) != 0
+				resolved := st.flags[idx]&fResolved != 0
+				if bit != resolved {
+					t.Fatalf("cycle %d: cluster %d slot %d mask bit %v but resolved %v",
+						cyc, c, idx, bit, resolved)
+				}
+				if !resolved {
+					continue
+				}
+				if _, seen := pendingReady[id]; seen {
+					continue
+				}
+				// Newly resolved this cycle: the producers it waited on issued
+				// at the latest this cycle and cannot have been recycled yet,
+				// so the reference recompute sees exactly what resolve() saw.
+				if want := readinessRef(p, idx); want != st.readyAt[idx] {
+					t.Fatalf("cycle %d: slot %d readyAt %d, reference readiness %d",
+						cyc, idx, st.readyAt[idx], want)
+				}
+				pendingReady[id] = st.readyAt[idx]
+				checked++
+			}
+		}
+
+		if worked {
+			p.now++
+		} else {
+			p.now = p.nextEvent()
+		}
+	}
+	if checked < 1_000 {
+		t.Fatalf("cross-checked only %d resolutions; trace too short to be meaningful", checked)
+	}
+}
+
+// TestPooledCheckpointCompat restores a checkpoint written by the
+// pooled-record build (testdata/pooled_v0.ckpt: mcf, 12000-instruction
+// budget, FDRT, paused at the RunTo(6000) drained boundary) into the SoA
+// pipeline and finishes the run. Snapshots are only legal at drained
+// boundaries where no instruction is in flight, so the inflight
+// representation is invisible to the format — the restored run must produce
+// exactly the stats the pooled build recorded.
+func TestPooledCheckpointCompat(t *testing.T) {
+	data, err := os.ReadFile("testdata/pooled_v0.ckpt")
+	if err != nil {
+		t.Fatalf("reading pooled-build checkpoint: %v", err)
+	}
+	wantBuf, err := os.ReadFile("testdata/pooled_v0_stats.json")
+	if err != nil {
+		t.Fatalf("reading pooled-build stats: %v", err)
+	}
+	var want Stats
+	if err := json.Unmarshal(wantBuf, &want); err != nil {
+		t.Fatalf("parsing pooled-build stats: %v", err)
+	}
+
+	const budget = 12_000
+	bm, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf kernel missing")
+	}
+	m := emu.New(bm.ProgramFor(budget))
+	cfg := DefaultConfig().WithStrategy(core.FDRT, false)
+	p := New(&emu.LimitStream{S: m, Budget: budget}, cfg)
+
+	r, err := snap.NewReader(data)
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	p.Restore(r)
+	if err := r.Close(); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := p.Consumed(); got != budget/2 {
+		t.Fatalf("restored pipeline consumed %d, want %d", got, budget/2)
+	}
+
+	p.RunTo(0)
+	got := p.Finish()
+	if !reflect.DeepEqual(&want, got) {
+		wj, _ := json.Marshal(&want)
+		gj, _ := json.Marshal(got)
+		t.Errorf("SoA continuation diverged from the pooled build\n pooled %s\n soa    %s", wj, gj)
+	}
+	const wantMem = uint64(0x22269e311e57baec)
+	if sum := m.Mem.Checksum(); sum != wantMem {
+		t.Errorf("final memory checksum %#x, want %#x", sum, wantMem)
+	}
+}
