@@ -304,11 +304,21 @@ func runMicrobench(path string, insts uint64, label, date, gatePath string) erro
 		return err
 	}
 	file.Current = cur
+	micro, err := bench.RunMicro()
+	if err != nil {
+		return err
+	}
+	file.Micro = micro
+	fmt.Printf("micro: emu %.1f ns/inst (generic %.1f), assign hit %.1f ns/trace (miss %.1f)\n",
+		micro.EmuNsPerInst, micro.EmuGenericNsPerInst,
+		micro.AssignHitNsPerTrace, micro.AssignMissNsPerTrace)
 	if label != "" {
 		if date == "" {
 			date = time.Now().UTC().Format("2006-01-02")
 		}
-		file.RecordHistory(cur, label, date)
+		if !file.RecordHistory(cur, label, date) {
+			fmt.Printf("history: last entry %q already records these numbers; keeping it unchanged\n", label)
+		}
 	}
 
 	strat, err := bench.RunStrategies(insts)

@@ -69,6 +69,75 @@ func TestGate(t *testing.T) {
 	}
 }
 
+// TestGateAllocsPerCycle: the ns tolerance must not shelter a change that
+// reintroduces per-cycle allocations — the allocation ceiling is absolute
+// and applies even to kernels absent from the committed record.
+func TestGateAllocsPerCycle(t *testing.T) {
+	committed := Report{Kernels: map[string]Metrics{"gzip": {NsPerCycle: 1000, AllocsPerCycle: 0.1}}}
+	ok := Report{Kernels: map[string]Metrics{"gzip": {NsPerCycle: 1000, AllocsPerCycle: 0.1}}}
+	if err := Gate(committed, ok, 0.15); err != nil {
+		t.Errorf("amortized one-time allocations tripped the gate: %v", err)
+	}
+	// Faster but allocating: the ns check alone would pass this.
+	leak := Report{Kernels: map[string]Metrics{"gzip": {NsPerCycle: 800, AllocsPerCycle: 1.3}}}
+	if err := Gate(committed, leak, 0.15); err == nil {
+		t.Error("per-cycle allocations rode under the ns gate")
+	}
+	// A new kernel is exempt from the ns comparison but not the ceiling.
+	novel := Report{Kernels: map[string]Metrics{"fresh": {NsPerCycle: 500, AllocsPerCycle: 2}}}
+	if err := Gate(committed, novel, 0.15); err == nil {
+		t.Error("allocating kernel passed because it was absent from the committed record")
+	}
+}
+
+// TestRecordHistorySkipsUnchangedRemeasurement: re-running `make bench` on
+// an unchanged tree produces the same label and noise-level metric wobble;
+// the trajectory must keep the existing entry untouched instead of churning
+// its date or duplicating it.
+func TestRecordHistorySkipsUnchangedRemeasurement(t *testing.T) {
+	rep := Report{
+		GoVersion: "go1.24.0",
+		Kernels:   map[string]Metrics{"gzip": {NsPerCycle: 950.5}, "eon": {NsPerCycle: 700}},
+	}
+	var f File
+	if !f.RecordHistory(rep, "predecode", "2026-08-08") {
+		t.Fatal("first labeled measurement was not recorded")
+	}
+	// Same tree, remeasured a day later: within tolerance on every kernel.
+	wobble := Report{
+		GoVersion: "go1.24.0",
+		Kernels:   map[string]Metrics{"gzip": {NsPerCycle: 955.1}, "eon": {NsPerCycle: 693}},
+	}
+	if f.RecordHistory(wobble, "predecode", "2026-08-09") {
+		t.Error("noise-level remeasurement was recorded")
+	}
+	if len(f.History) != 1 || f.History[0].Date != "2026-08-08" ||
+		f.History[0].NsPerCycle["gzip"] != 950.5 {
+		t.Fatalf("unchanged-tree rerun disturbed the entry: %+v", f.History)
+	}
+	// A real change under the same label replaces the point in place.
+	improved := Report{
+		GoVersion: "go1.24.0",
+		Kernels:   map[string]Metrics{"gzip": {NsPerCycle: 700}, "eon": {NsPerCycle: 500}},
+	}
+	if !f.RecordHistory(improved, "predecode", "2026-08-10") {
+		t.Error("materially different remeasurement was skipped")
+	}
+	if len(f.History) != 1 || f.History[0].NsPerCycle["gzip"] != 700 {
+		t.Fatalf("same-label update did not replace in place: %+v", f.History)
+	}
+	// A kernel-set mismatch is never "unchanged".
+	extra := Report{
+		GoVersion: "go1.24.0",
+		Kernels: map[string]Metrics{
+			"gzip": {NsPerCycle: 700}, "eon": {NsPerCycle: 500}, "mcf": {NsPerCycle: 300},
+		},
+	}
+	if !f.RecordHistory(extra, "predecode", "2026-08-11") {
+		t.Error("kernel-set change was treated as a remeasurement")
+	}
+}
+
 func TestRecordHistoryReplacesSameLabel(t *testing.T) {
 	rep := Report{
 		GoVersion: "go1.24.0",
@@ -85,6 +154,37 @@ func TestRecordHistoryReplacesSameLabel(t *testing.T) {
 	if f.History[0].Label != "soa" || f.History[0].Date != "2026-08-09" ||
 		f.History[0].NsPerCycle["gzip"] != 900 {
 		t.Errorf("same-label entry not replaced in place: %+v", f.History[0])
+	}
+}
+
+// TestMicroRoundtripsAndRecordsInHistory: the component measurement block
+// must survive the JSON encode/decode cycle and ride along with labeled
+// history entries.
+func TestMicroRoundtripsAndRecordsInHistory(t *testing.T) {
+	var f File
+	f.Micro = &MicroMetrics{
+		EmuNsPerInst:        6.5,
+		EmuGenericNsPerInst: 16.4,
+		AssignHitNsPerTrace: 715.4, AssignMissNsPerTrace: 2172.7,
+	}
+	rep := Report{GoVersion: "go1.24.0", Kernels: map[string]Metrics{"gzip": {NsPerCycle: 700}}}
+	if !f.RecordHistory(rep, "predecode", "2026-08-08") {
+		t.Fatal("labeled measurement was not recorded")
+	}
+	buf, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got File
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Micro == nil || got.Micro.EmuGenericNsPerInst != 16.4 {
+		t.Fatalf("micro block did not roundtrip: %+v", got.Micro)
+	}
+	if len(got.History) != 1 || got.History[0].Micro == nil ||
+		got.History[0].Micro.AssignHitNsPerTrace != 715.4 {
+		t.Fatalf("history entry did not carry the micro block: %+v", got.History)
 	}
 }
 

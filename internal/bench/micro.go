@@ -1,0 +1,171 @@
+package bench
+
+// Component microbenchmarks recorded alongside the kernel throughput table:
+// the functional emulator's per-instruction dispatch cost (predecoded vs.
+// the original switch interpreter) and the fill unit's per-trace assignment
+// cost (memo hit vs. full Table-5 walk). `ctcpbench -microbench` embeds the
+// result in BENCH_pipeline.json — and in labeled history entries — so the
+// predecode and memoization gains stay visible next to the end-to-end
+// ns/cycle trajectory they feed.
+
+import (
+	"fmt"
+	"testing"
+
+	"ctcp/internal/cluster"
+	"ctcp/internal/core"
+	"ctcp/internal/emu"
+	"ctcp/internal/isa"
+	"ctcp/internal/trace"
+)
+
+// MicroMetrics is the component-level measurement block.
+type MicroMetrics struct {
+	// Emulator per-instruction cost, predecoded dispatch vs. the generic
+	// switch interpreter it replaced (same synthetic kernel).
+	EmuNsPerInst        float64 `json:"emu_ns_per_inst"`
+	EmuGenericNsPerInst float64 `json:"emu_generic_ns_per_inst"`
+	// Fill unit per-trace cost through the public retire path: the same hot
+	// line rebuilt unchanged (assignment memo hit) vs. a line whose code
+	// changes every build (full assignment walk).
+	AssignHitNsPerTrace  float64 `json:"assign_hit_ns_per_trace"`
+	AssignMissNsPerTrace float64 `json:"assign_miss_ns_per_trace"`
+}
+
+// microKernel mirrors the instruction mix of internal/emu's BenchmarkStep
+// kernel: ALU traffic over an induction variable, loads/stores walking a
+// buffer, a compare+branch back-edge. count outer iterations, then HALT —
+// callers pass a count far beyond any measurement horizon.
+func microKernel(count int64) *isa.Program {
+	base := isa.DefaultTextBase
+	return &isa.Program{
+		TextBase: base,
+		DataBase: isa.DefaultDataBase,
+		Entry:    base,
+		Text: []isa.Inst{
+			0: {Op: isa.MOVI, Rc: isa.R(1), Imm: count},
+			1: {Op: isa.MOVI, Rc: isa.R(2), Imm: int64(isa.DefaultDataBase)},
+			2: {Op: isa.MOVI, Rc: isa.R(3), Imm: 0},
+			// loop:
+			3:  {Op: isa.LDQ, Ra: isa.R(2), Imm: 0, Rc: isa.R(4)},
+			4:  {Op: isa.ADD, Ra: isa.R(4), Rb: isa.R(1), Rc: isa.R(4)},
+			5:  {Op: isa.XOR, Ra: isa.R(3), Rb: isa.R(4), Rc: isa.R(3)},
+			6:  {Op: isa.SLL, Ra: isa.R(4), Imm: 3, UseImm: true, Rc: isa.R(5)},
+			7:  {Op: isa.STQ, Ra: isa.R(2), Rb: isa.R(5), Imm: 8},
+			8:  {Op: isa.AND, Ra: isa.R(5), Imm: 1023, UseImm: true, Rc: isa.R(6)},
+			9:  {Op: isa.ADD, Ra: isa.R(2), Rb: isa.R(6), Rc: isa.R(2)},
+			10: {Op: isa.CMPULT, Ra: isa.R(2), Imm: 1 << 20, UseImm: true, Rc: isa.R(7)},
+			11: {Op: isa.BNE, Ra: isa.R(7), Imm: int64(base + 13*isa.PCStride)},
+			12: {Op: isa.MOVI, Rc: isa.R(2), Imm: int64(isa.DefaultDataBase)},
+			13: {Op: isa.SUB, Ra: isa.R(1), Imm: 1, UseImm: true, Rc: isa.R(1)},
+			14: {Op: isa.BNE, Ra: isa.R(1), Imm: int64(base + 3*isa.PCStride)},
+			15: {Op: isa.OUT, Ra: isa.R(3)},
+			16: {Op: isa.HALT},
+		},
+	}
+}
+
+// measureStep times one interpreter path over the micro kernel, fastest of
+// benchReps repetitions, in ns per instruction.
+func measureStep(step func(*emu.Machine, *emu.Committed) error) (float64, error) {
+	best := 0.0
+	for rep := 0; rep < benchReps; rep++ {
+		m := emu.New(microKernel(1 << 40)) // never halts within a run
+		var c emu.Committed
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := step(m, &c); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return 0, failed
+		}
+		if r.N <= 0 {
+			return 0, fmt.Errorf("bench: interpreter measurement made no progress")
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// assignTraceLen is the trace length the assignment measurement feeds: full
+// lines, matching the default MaxLen.
+const assignTraceLen = 16
+
+// measureAssign times the fill unit's retire path per built trace under
+// FDRT. With vary=false the same line is rebuilt unchanged every iteration
+// (steady-state memo hits); with vary=true the line's code rotates through
+// eight variants, so every build misses and runs the full walk.
+func measureAssign(vary bool) (float64, error) {
+	best := 0.0
+	for rep := 0; rep < benchReps; rep++ {
+		tc := trace.NewCache(trace.DefaultConfig())
+		f := core.NewFillUnit(core.Config{
+			Strategy: core.FDRT,
+			Geom:     cluster.DefaultGeometry(),
+			Trace:    trace.DefaultConfig(),
+		}, tc)
+		seq := uint64(0)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rcBase := 3
+				if vary {
+					rcBase = i % 8
+				}
+				for j := 0; j < assignTraceLen; j++ {
+					f.Retire(&core.RetireInfo{Rec: emu.Committed{
+						Seq: seq, PC: 0x1000 + uint64(j)*isa.PCStride,
+						Inst: isa.Inst{Op: isa.ADD, Rc: isa.R(1 + (rcBase+j)%20)},
+					}})
+					seq++
+				}
+			}
+		})
+		if r.N <= 0 {
+			return 0, fmt.Errorf("bench: assignment measurement made no progress")
+		}
+		hits, misses := f.MemoStats()
+		if vary && hits > misses {
+			return 0, fmt.Errorf("bench: miss measurement is hitting the memo (%d hits, %d misses)", hits, misses)
+		}
+		if !vary && misses > hits {
+			return 0, fmt.Errorf("bench: hit measurement is missing the memo (%d hits, %d misses)", hits, misses)
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// RunMicro measures the component microbenchmarks (fastest of benchReps
+// repetitions each, like the kernel table).
+func RunMicro() (*MicroMetrics, error) {
+	var m MicroMetrics
+	var err error
+	if m.EmuNsPerInst, err = measureStep((*emu.Machine).StepInto); err != nil {
+		return nil, err
+	}
+	if m.EmuGenericNsPerInst, err = measureStep((*emu.Machine).StepGeneric); err != nil {
+		return nil, err
+	}
+	if m.AssignHitNsPerTrace, err = measureAssign(false); err != nil {
+		return nil, err
+	}
+	if m.AssignMissNsPerTrace, err = measureAssign(true); err != nil {
+		return nil, err
+	}
+	m.EmuNsPerInst = round1(m.EmuNsPerInst)
+	m.EmuGenericNsPerInst = round1(m.EmuGenericNsPerInst)
+	m.AssignHitNsPerTrace = round1(m.AssignHitNsPerTrace)
+	m.AssignMissNsPerTrace = round1(m.AssignMissNsPerTrace)
+	return &m, nil
+}

@@ -47,9 +47,11 @@ func DefaultGeometry() Geometry {
 func (g Geometry) TotalWidth() int { return g.Clusters * g.Width }
 
 // Distance returns the number of interconnect hops between clusters a and b.
+// The bounds panic lives out of line so the body stays under the inlining
+// budget — the scheduler evaluates this per forwarded input per instruction.
 func (g Geometry) Distance(a, b int) int {
 	if a < 0 || a >= g.Clusters || b < 0 || b >= g.Clusters {
-		panic(fmt.Sprintf("cluster: distance between invalid clusters %d,%d", a, b))
+		badDistance(a, b)
 	}
 	d := a - b
 	if d < 0 {
@@ -61,6 +63,13 @@ func (g Geometry) Distance(a, b int) int {
 		}
 	}
 	return d
+}
+
+//ctcp:coldpath
+//
+//go:noinline
+func badDistance(a, b int) {
+	panic(fmt.Sprintf("cluster: distance between invalid clusters %d,%d", a, b))
 }
 
 // ForwardLat returns the data forwarding latency in cycles from a producer

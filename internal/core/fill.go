@@ -98,6 +98,13 @@ type FillUnit struct {
 	order     []int
 	nextSlot  []int
 
+	// memo caches per-line assignment results keyed by trace StartPC,
+	// fingerprint-validated against every input the walk reads (see
+	// assignmemo.go). Scratch: never serialized, cleared on Flush/Restore.
+	memo       pcMap[assignMemoEntry]
+	memoHits   uint64
+	memoMisses uint64
+
 	S FillStats
 }
 
@@ -151,19 +158,48 @@ func (f *FillUnit) Chains() *ChainProfile { return f.chains }
 // Retire feeds one retired instruction to the fill unit. The record is
 // copied once (into the pending buffer); it is passed by pointer because
 // RetireInfo is ~200 bytes and this is called once per retired instruction.
+// Callers building the record field by field can skip even that copy with
+// the RetireSlot/CommitRetire pair.
 func (f *FillUnit) Retire(info *RetireInfo) {
+	*f.RetireSlot() = *info
+	f.CommitRetire()
+}
+
+// RetireSlot extends the pending buffer by one record and returns it for the
+// caller to fill in place — the zero-copy half of the retire path: the
+// pipeline composes the ~200-byte RetireInfo directly in the buffer slot it
+// will be consumed from instead of building it in scratch and copying it in.
+// The slot may hold a stale record from an earlier trace; the caller must
+// overwrite it completely, then call CommitRetire.
+func (f *FillUnit) RetireSlot() *RetireInfo {
+	if n := len(f.pending); n < cap(f.pending) {
+		f.pending = f.pending[:n+1]
+	} else {
+		f.pending = append(f.pending, RetireInfo{})
+	}
+	return &f.pending[len(f.pending)-1]
+}
+
+// CommitRetire processes the record most recently obtained from RetireSlot
+// and filled in by the caller. If the record completes a trace, the pending
+// buffer is logically truncated, but the committed record's storage is not
+// rewritten, so the pointer RetireSlot returned remains readable (not
+// writable) until the next RetireSlot call.
+func (f *FillUnit) CommitRetire() {
+	info := &f.pending[len(f.pending)-1]
 	f.updateChains(info)
-	f.pending = append(f.pending, *info)
-	if tr := f.builder.Add(info.Rec); tr != nil {
+	if tr := f.builder.AddRec(&info.Rec); tr != nil {
 		f.finishTrace(tr)
 	}
 }
 
-// Flush completes any partial trace (end of simulation).
+// Flush completes any partial trace (end of simulation) and drops the
+// assignment memo.
 func (f *FillUnit) Flush() {
 	if tr := f.builder.Flush(); tr != nil {
 		f.finishTrace(tr)
 	}
+	f.memo.reset()
 }
 
 func (f *FillUnit) finishTrace(tr *trace.Trace) {
@@ -269,8 +305,29 @@ func (f *FillUnit) recordMigration(tr *trace.Trace) {
 	}
 }
 
-// assign sets SlotIndex/Cluster/Profile for every slot of tr.
+// assign sets SlotIndex/Cluster/Profile for every slot of tr, replaying a
+// memoized result when the line's assignment inputs are unchanged since it
+// was last built (assignmemo.go) and running the full walk otherwise.
 func (f *FillUnit) assign(tr *trace.Trace, infos []RetireInfo) {
+	if !f.memoizable() {
+		f.assignCompute(tr, infos)
+		return
+	}
+	fp := f.assignFP(tr, infos)
+	e := f.memo.ensure(tr.StartPC)
+	if e.present && e.fp == fp && int(e.n) == len(tr.Slots) {
+		f.memoHits++
+		f.replayAssign(tr, e)
+		return
+	}
+	f.memoMisses++
+	before := f.S
+	f.assignCompute(tr, infos)
+	f.storeAssign(tr, e, fp, &before)
+}
+
+// assignCompute runs the full assignment pass.
+func (f *FillUnit) assignCompute(tr *trace.Trace, infos []RetireInfo) {
 	// The profile written into the new line is the one the retiring
 	// instance carried (its old line's bits), unless a pending designation
 	// exists, which is consumed here. Instances fetched from the icache

@@ -153,6 +153,12 @@ func (f *FillUnit) Snapshot(w *snap.Writer) {
 	_ = f.consumers
 	_ = f.order
 	_ = f.nextSlot
+	// Assignment memo and its diagnostics counters: derived cache, cleared on
+	// Restore (assignmemo.go). Keeping them out of the encoding pins snapshot
+	// bit-compatibility with pre-memo fixtures.
+	_ = f.memo
+	_ = f.memoHits
+	_ = f.memoMisses
 	w.U64(f.S.TracesBuilt)
 	w.U64(f.S.InstsBuilt)
 	w.U64(f.S.OptionA)
@@ -183,6 +189,7 @@ func (f *FillUnit) Restore(r *snap.Reader) {
 	}
 	f.chains.Restore(r)
 	f.builder.Restore(r)
+	f.memo.reset()
 	n := r.Int()
 	if r.Err() != nil {
 		return

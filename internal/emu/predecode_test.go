@@ -1,0 +1,348 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"ctcp/internal/isa"
+)
+
+// lockstep runs two machines over the same program — one through the
+// predecoded StepInto dispatch, one through the stepGeneric oracle — and
+// requires identical Committed records, faults, and architectural state at
+// every step. Returns the number of successfully completed steps.
+func lockstep(t *testing.T, p *isa.Program, budget int) int {
+	t.Helper()
+	mf := New(p)
+	mg := New(p)
+	var cf, cg Committed
+	for step := 0; step < budget; step++ {
+		errF := mf.StepInto(&cf)
+		errG := mg.stepGeneric(&cg)
+		if (errF == nil) != (errG == nil) {
+			t.Fatalf("step %d: fast err=%v, generic err=%v", step, errF, errG)
+		}
+		if errF != nil {
+			if errF.Error() != errG.Error() {
+				t.Fatalf("step %d: fault mismatch: fast %q, generic %q", step, errF, errG)
+			}
+			return step
+		}
+		if cf != cg {
+			t.Fatalf("step %d: committed mismatch:\nfast    %+v\ngeneric %+v", step, cf, cg)
+		}
+		if mf.Regs != mg.Regs {
+			for i := range mf.Regs {
+				if mf.Regs[i] != mg.Regs[i] {
+					t.Fatalf("step %d (pc %#x): reg %d = %#x fast, %#x generic",
+						step, cf.PC, i, mf.Regs[i], mg.Regs[i])
+				}
+			}
+		}
+		if mf.PC != mg.PC || mf.seq != mg.seq || mf.halted != mg.halted {
+			t.Fatalf("step %d: control mismatch: fast pc=%#x seq=%d halted=%v, generic pc=%#x seq=%d halted=%v",
+				step, mf.PC, mf.seq, mf.halted, mg.PC, mg.seq, mg.halted)
+		}
+		if mf.OutHash != mg.OutHash || len(mf.OutValues) != len(mg.OutValues) {
+			t.Fatalf("step %d: OUT state mismatch", step)
+		}
+		if mf.halted {
+			return step
+		}
+	}
+	return budget
+}
+
+// TestPredecodeMatchesGeneric cross-checks the predecoded dispatch against
+// the original interpreter on targeted programs covering every uop kind and
+// the shapes that lower to uGeneric.
+func TestPredecodeMatchesGeneric(t *testing.T) {
+	base := isa.DefaultTextBase
+	fpImm := func(v float64) int64 { return int64(math.Float64bits(v)) }
+	cases := map[string][]isa.Inst{
+		"alu-rr-ri": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: -7},
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: 13},
+			isa.Inst{Op: isa.ADD, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(3)},
+			isa.Inst{Op: isa.ADD, Ra: isa.R(1), Imm: -100, UseImm: true, Rc: isa.R(4)},
+			isa.Inst{Op: isa.SUB, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(5)},
+			isa.Inst{Op: isa.SUB, Ra: isa.R(1), Imm: 9, UseImm: true, Rc: isa.R(6)},
+			isa.Inst{Op: isa.AND, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(7)},
+			isa.Inst{Op: isa.OR, Ra: isa.R(1), Imm: 0x0f, UseImm: true, Rc: isa.R(8)},
+			isa.Inst{Op: isa.XOR, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(9)},
+			isa.Inst{Op: isa.ANDNOT, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(10)},
+			isa.Inst{Op: isa.MUL, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(11)},
+			isa.Inst{Op: isa.DIV, Ra: isa.R(2), Rb: isa.R(1), Rc: isa.R(12)},
+			isa.Inst{Op: isa.REM, Ra: isa.R(2), Imm: 5, UseImm: true, Rc: isa.R(13)},
+			isa.Inst{Op: isa.SEXTB, Ra: isa.R(2), Rc: isa.R(14)},
+			isa.Inst{Op: isa.SEXTW, Ra: isa.R(1), Rc: isa.R(15)},
+			isa.Inst{Op: isa.HALT},
+		},
+		"shifts-and-compares": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: -1},
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: 67}, // shift count > 63 via register
+			isa.Inst{Op: isa.SLL, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(3)},
+			isa.Inst{Op: isa.SRL, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(4)},
+			isa.Inst{Op: isa.SRA, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(5)},
+			isa.Inst{Op: isa.SLL, Ra: isa.R(1), Imm: 65, UseImm: true, Rc: isa.R(6)}, // pre-masked imm count
+			isa.Inst{Op: isa.SRL, Ra: isa.R(1), Imm: 1, UseImm: true, Rc: isa.R(7)},
+			isa.Inst{Op: isa.SRA, Ra: isa.R(1), Imm: 63, UseImm: true, Rc: isa.R(8)},
+			isa.Inst{Op: isa.CMPEQ, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(9)},
+			isa.Inst{Op: isa.CMPLT, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(10)},
+			isa.Inst{Op: isa.CMPLE, Ra: isa.R(1), Imm: -1, UseImm: true, Rc: isa.R(11)},
+			isa.Inst{Op: isa.CMPULT, Ra: isa.R(1), Rb: isa.R(2), Rc: isa.R(12)},
+			isa.Inst{Op: isa.CMPULE, Ra: isa.R(1), Imm: -1, UseImm: true, Rc: isa.R(13)},
+			isa.Inst{Op: isa.HALT},
+		},
+		"zero-reg-and-nop": {
+			isa.Inst{Op: isa.NOP},
+			isa.Inst{Op: isa.MOVI, Rc: isa.ZeroReg, Imm: 99},                         // discarded write
+			isa.Inst{Op: isa.ADD, Ra: isa.ZeroReg, Rb: isa.ZeroReg, Rc: isa.R(1)},    // zero sources
+			isa.Inst{Op: isa.ADD, Ra: isa.NoReg, Imm: 7, UseImm: true, Rc: isa.R(2)}, // absent source
+			isa.Inst{Op: isa.SUB, Ra: isa.R(2), Rb: isa.R(2), Rc: isa.ZeroReg},       // discarded op
+			isa.Inst{Op: isa.DIV, Ra: isa.R(2), Rb: isa.ZeroReg, Rc: isa.R(3)},       // div by hardwired zero
+			isa.Inst{Op: isa.ADDT, Ra: isa.F(1), Rb: isa.F(2), Rc: isa.FZeroReg},     // discarded FP op
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(4), Imm: int64(isa.DefaultDataBase)},    //
+			isa.Inst{Op: isa.LDQ, Ra: isa.R(4), Imm: 0, Rc: isa.ZeroReg},             // discarded load
+			isa.Inst{Op: isa.HALT},
+		},
+		"memory-widths": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: int64(isa.DefaultDataBase)},
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: -2}, // 0xffff_fffe pattern
+			isa.Inst{Op: isa.STQ, Ra: isa.R(1), Rb: isa.R(2), Imm: 0},
+			isa.Inst{Op: isa.STL, Ra: isa.R(1), Rb: isa.R(2), Imm: 16},
+			isa.Inst{Op: isa.STW, Ra: isa.R(1), Rb: isa.R(2), Imm: 24},
+			isa.Inst{Op: isa.STB, Ra: isa.R(1), Rb: isa.R(2), Imm: 32},
+			isa.Inst{Op: isa.LDQ, Ra: isa.R(1), Imm: 0, Rc: isa.R(3)},
+			isa.Inst{Op: isa.LDL, Ra: isa.R(1), Imm: 16, Rc: isa.R(4)}, // sign-extends
+			isa.Inst{Op: isa.LDL, Ra: isa.R(1), Imm: 24, Rc: isa.R(5)},
+			isa.Inst{Op: isa.LDW, Ra: isa.R(1), Imm: 24, Rc: isa.R(6)},
+			isa.Inst{Op: isa.LDBU, Ra: isa.R(1), Imm: 32, Rc: isa.R(7)},
+			isa.Inst{Op: isa.STT, Ra: isa.R(1), Rb: isa.F(1), Imm: 40},
+			isa.Inst{Op: isa.LDT, Ra: isa.R(1), Imm: 40, Rc: isa.F(2)},
+			isa.Inst{Op: isa.LDQ, Ra: isa.R(1), Imm: 4096, Rc: isa.R(8)}, // untouched page reads 0
+			isa.Inst{Op: isa.HALT},
+		},
+		"branches": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 3}, // loop counter
+			// loop: decrement, BNE back
+			isa.Inst{Op: isa.SUB, Ra: isa.R(1), Imm: 1, UseImm: true, Rc: isa.R(1)},
+			isa.Inst{Op: isa.BNE, Ra: isa.R(1), Imm: int64(base + 1*isa.PCStride)},
+			isa.Inst{Op: isa.BEQ, Ra: isa.R(1), Imm: int64(base + 5*isa.PCStride)}, // taken
+			isa.Inst{Op: isa.HALT},                                                 // skipped
+			isa.Inst{Op: isa.BLT, Ra: isa.R(1), Imm: int64(base)},                  // not taken (0)
+			isa.Inst{Op: isa.BLE, Ra: isa.R(1), Imm: int64(base + 7*isa.PCStride)}, // taken (0)
+			isa.Inst{Op: isa.BGT, Ra: isa.R(1), Imm: int64(base)},                  // not taken
+			isa.Inst{Op: isa.BGE, Ra: isa.R(1), Imm: int64(base + 9*isa.PCStride)}, // taken
+			isa.Inst{Op: isa.HALT},
+		},
+		"fp-branches-negzero": {
+			// F1 = -0.0: FBEQ must treat it as zero (float compare, not bits).
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: fpImm(math.Copysign(0, -1))},
+			isa.Inst{Op: isa.ITOF, Ra: isa.R(1), Rc: isa.F(1)},
+			isa.Inst{Op: isa.FBEQ, Ra: isa.F(1), Imm: int64(base + 4*isa.PCStride)}, // taken: -0.0 == 0
+			isa.Inst{Op: isa.HALT},                                 // skipped
+			isa.Inst{Op: isa.FBNE, Ra: isa.F(1), Imm: int64(base)}, // not taken
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: fpImm(1.5)},
+			isa.Inst{Op: isa.ITOF, Ra: isa.R(2), Rc: isa.F(2)},
+			isa.Inst{Op: isa.FBNE, Ra: isa.F(2), Imm: int64(base + 9*isa.PCStride)}, // taken
+			isa.Inst{Op: isa.HALT},                                                  // skipped
+			isa.Inst{Op: isa.FBEQ, Ra: isa.F(2), Imm: int64(base)},                  // not taken
+			isa.Inst{Op: isa.HALT},
+		},
+		"direct-and-indirect-control": {
+			isa.Inst{Op: isa.BR, Imm: int64(base + 2*isa.PCStride)}, // plain BR
+			isa.Inst{Op: isa.HALT}, // skipped
+			isa.Inst{Op: isa.BR, Rc: isa.R(1), Imm: int64(base + 4*isa.PCStride)}, // BR with link
+			isa.Inst{Op: isa.HALT}, // skipped
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: int64(base + 7*isa.PCStride)}, //
+			isa.Inst{Op: isa.JSR, Rb: isa.R(2), Rc: isa.R(3)},                       // link in R3
+			isa.Inst{Op: isa.HALT}, // skipped
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(4), Imm: int64(base + 10*isa.PCStride)},
+			isa.Inst{Op: isa.JMP, Rb: isa.R(4)},
+			isa.Inst{Op: isa.HALT}, // skipped
+			isa.Inst{Op: isa.RET, Rb: isa.R(3)},
+			isa.Inst{Op: isa.HALT}, // skipped: RET returns past JSR
+		},
+		"fp-arith": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: fpImm(2.25)},
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(2), Imm: fpImm(-4.5)},
+			isa.Inst{Op: isa.ITOF, Ra: isa.R(1), Rc: isa.F(1)},
+			isa.Inst{Op: isa.ITOF, Ra: isa.R(2), Rc: isa.F(2)},
+			isa.Inst{Op: isa.ADDT, Ra: isa.F(1), Rb: isa.F(2), Rc: isa.F(3)},
+			isa.Inst{Op: isa.SUBT, Ra: isa.F(1), Rb: isa.F(2), Rc: isa.F(4)},
+			isa.Inst{Op: isa.MULT, Ra: isa.F(1), Rb: isa.F(2), Rc: isa.F(5)},
+			isa.Inst{Op: isa.DIVT, Ra: isa.F(2), Rb: isa.F(1), Rc: isa.F(6)},
+			isa.Inst{Op: isa.SQRTT, Ra: isa.F(1), Rc: isa.F(7)},
+			isa.Inst{Op: isa.CMPTEQ, Ra: isa.F(1), Rb: isa.F(2), Rc: isa.F(8)},
+			isa.Inst{Op: isa.CMPTLT, Ra: isa.F(2), Rb: isa.F(1), Rc: isa.F(9)},
+			isa.Inst{Op: isa.CMPTLE, Ra: isa.F(1), Rb: isa.F(1), Rc: isa.F(10)},
+			isa.Inst{Op: isa.CVTQT, Ra: isa.R(1), Rc: isa.F(11)},
+			isa.Inst{Op: isa.CVTTQ, Ra: isa.F(2), Rc: isa.R(3)},
+			isa.Inst{Op: isa.FTOI, Ra: isa.F(5), Rc: isa.R(4)},
+			isa.Inst{Op: isa.HALT},
+		},
+		"out-stream": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 0x1234},
+			isa.Inst{Op: isa.OUT, Ra: isa.R(1)},
+			isa.Inst{Op: isa.ADD, Ra: isa.R(1), Imm: 1, UseImm: true, Rc: isa.R(1)},
+			isa.Inst{Op: isa.OUT, Ra: isa.R(1)},
+			isa.Inst{Op: isa.OUT, Ra: isa.ZeroReg},
+			isa.Inst{Op: isa.HALT},
+		},
+		"misaligned-branch-not-taken": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 1},
+			isa.Inst{Op: isa.BEQ, Ra: isa.R(1), Imm: int64(base + 2)}, // misaligned, not taken: no fault
+			isa.Inst{Op: isa.HALT},
+		},
+		"misaligned-branch-taken": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 0},
+			isa.Inst{Op: isa.BEQ, Ra: isa.R(1), Imm: int64(base + 2)}, // misaligned, taken: fault
+			isa.Inst{Op: isa.HALT},
+		},
+		"misaligned-br": {
+			isa.Inst{Op: isa.BR, Imm: int64(base + 3)}, // always faults
+			isa.Inst{Op: isa.HALT},
+		},
+		"misaligned-jmp": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: int64(base + 5)},
+			isa.Inst{Op: isa.JMP, Rb: isa.R(1)},
+			isa.Inst{Op: isa.HALT},
+		},
+		"misaligned-jsr": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: int64(base + 5)},
+			isa.Inst{Op: isa.JSR, Rb: isa.R(1), Rc: isa.R(2)},
+			isa.Inst{Op: isa.HALT},
+		},
+		"run-off-text": {
+			isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 1}, // falls off the end
+		},
+		"undefined-opcode": {
+			isa.Inst{Op: isa.Op(200)},
+			isa.Inst{Op: isa.HALT},
+		},
+	}
+	for name, insts := range cases {
+		t.Run(name, func(t *testing.T) {
+			lockstep(t, prog(nil, insts...), 10000)
+		})
+	}
+}
+
+// TestPredecodeMatchesGenericRandom cross-checks the two interpreters on
+// deterministic pseudo-random programs: every opcode, random operands and
+// operand kinds, with control-flow targets kept inside the text segment.
+func TestPredecodeMatchesGenericRandom(t *testing.T) {
+	const textLen = 256
+	base := isa.DefaultTextBase
+	for seed := uint64(1); seed <= 8; seed++ {
+		s := seed * 0x9e3779b97f4a7c15
+		next := func() uint64 { // xorshift64*
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			return s * 0x2545f4914f6cdd1d
+		}
+		insts := make([]isa.Inst, textLen)
+		for i := range insts {
+			op := isa.Op(next() % uint64(isa.NumOps))
+			inst := isa.Inst{Op: op}
+			info := op.Info()
+			class := info.Class
+			// Random registers; bias toward a small window (incl. R31) so
+			// values flow between instructions.
+			reg := func() isa.Reg { return isa.R(int(next() % 32)) }
+			freg := func() isa.Reg { return isa.F(int(next() % 32)) }
+			switch {
+			case class == isa.ClassFPAdd || class == isa.ClassFPMul ||
+				class == isa.ClassFPDiv || class == isa.ClassFPSqrt:
+				inst.Ra, inst.Rb, inst.Rc = freg(), freg(), freg()
+				if op == isa.ITOF || op == isa.CVTQT {
+					inst.Ra = reg()
+				}
+				if op == isa.FTOI || op == isa.CVTTQ {
+					inst.Rc = reg()
+				}
+			case class == isa.ClassFPBranch:
+				inst.Ra = freg()
+				inst.Imm = int64(base + uint64(next()%textLen)*isa.PCStride)
+			case class == isa.ClassBranch:
+				inst.Ra = reg()
+				inst.Imm = int64(base + uint64(next()%textLen)*isa.PCStride)
+				if op == isa.BR && next()%2 == 0 {
+					inst.Rc = reg()
+				}
+			case class == isa.ClassJump:
+				// Load an in-range aligned target first, then jump through it.
+				inst.Rb = reg()
+				inst.Rc = reg()
+				// Make the register-indirect target usually valid by pointing
+				// Rb at R30, which the preamble seeds with a text address.
+				inst.Rb = isa.R(30)
+			case class.IsMem():
+				inst.Ra = isa.R(29) // preamble points R29 at the data segment
+				inst.Rb = reg()
+				inst.Rc = reg()
+				if op == isa.LDT {
+					inst.Rc = freg()
+				}
+				if op == isa.STT {
+					inst.Rb = freg()
+				}
+				inst.Imm = int64(next() % 4096)
+			default:
+				inst.Ra, inst.Rb, inst.Rc = reg(), reg(), reg()
+				if next()%2 == 0 {
+					inst.UseImm = true
+					inst.Imm = int64(next()) >> (next() % 48)
+				}
+				if op == isa.MOVI {
+					inst.UseImm = false
+					inst.Imm = int64(next()) >> (next() % 32)
+				}
+			}
+			insts[i] = inst
+		}
+		// Preamble: seed R29 (data base) and R30 (aligned text target), then
+		// fall into the random body. Entry stays at TextBase.
+		pre := []isa.Inst{
+			{Op: isa.MOVI, Rc: isa.R(29), Imm: int64(isa.DefaultDataBase)},
+			{Op: isa.MOVI, Rc: isa.R(30), Imm: int64(base + uint64(4+next()%textLen)*isa.PCStride)},
+			{Op: isa.MOVI, Rc: isa.R(28), Imm: 1000}, // step-down fuel, unused by body
+			{Op: isa.NOP},
+		}
+		p := &isa.Program{
+			TextBase: base,
+			DataBase: isa.DefaultDataBase,
+			Entry:    base,
+			Text:     append(pre, insts...),
+		}
+		// Budget-bounded: random programs rarely halt; 4096 steps of exact
+		// agreement (or an identical fault) is the property under test.
+		lockstep(t, p, 4096)
+	}
+}
+
+// TestPredecodeTableSurvivesReset verifies Reset keeps the derived table and
+// that stepping after Reset still agrees with a freshly built machine.
+func TestPredecodeTableSurvivesReset(t *testing.T) {
+	p := prog(nil,
+		isa.Inst{Op: isa.MOVI, Rc: isa.R(1), Imm: 5},
+		isa.Inst{Op: isa.ADD, Ra: isa.R(1), Rb: isa.R(1), Rc: isa.R(2)},
+		isa.Inst{Op: isa.HALT},
+	)
+	m := New(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.pred == nil {
+		t.Fatal("Reset dropped the predecode table")
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[isa.R(2)] != 10 {
+		t.Fatalf("after reset: R2 = %d, want 10", m.Regs[isa.R(2)])
+	}
+}

@@ -9,9 +9,11 @@ import (
 
 // This file implements the snap.Checkpointable contract for the functional
 // simulator: Memory, Machine, and the Stream wrappers. Everything here is
-// architectural state — the emulator has almost no scratch state; the only
-// excluded field is Memory's one-entry page-translation cache
-// (lastIdx/lastPage), which is rebuilt lazily after restore.
+// architectural state — the emulator has almost no scratch state; the
+// excluded fields are Memory's one-entry page-translation cache
+// (lastIdx/lastPage), rebuilt lazily after restore, and Machine's predecoded
+// uop table (pred/predBase), derived from the immutable program at
+// construction (see predecode.go).
 
 // Snapshot serializes the memory contents: every non-zero page, in
 // ascending page-index order. All-zero pages are skipped (reads of
@@ -77,6 +79,11 @@ func (p *page) isZero() bool {
 // the program layout.
 func (m *Machine) Snapshot(w *snap.Writer) {
 	w.Begin("machine")
+	// The predecoded uop table is derived state: a pure function of the
+	// immutable program image, built once in New and valid for the machine's
+	// whole lifetime, so it is neither serialized nor rebuilt on restore.
+	_ = m.pred
+	_ = m.predBase
 	w.U64(m.prog.Entry)
 	w.U64(m.prog.TextBase)
 	w.U64(m.prog.TextEnd())

@@ -8,6 +8,8 @@ package pipeline
 // allocation at all. Correctness against the original model is pinned by
 // the differential, determinism, and golden-stats tests.
 
+import "ctcp/internal/isa"
+
 // infQueue is an in-place FIFO of in-flight instruction ids. popFront
 // advances a head index instead of reslicing (the old `q = q[1:]` drains
 // leaked the buffer's front and forced append to reallocate); the buffer is
@@ -169,6 +171,171 @@ func (t *pcTable) slow(pc uint64) *pcStats {
 	e := t.overflow[pc]
 	if e == nil {
 		e = new(pcStats)
+		t.overflow[pc] = e
+	}
+	return e
+}
+
+// readyEvent queues one resolved RS entry for its future ready cycle.
+type readyEvent struct {
+	at  int64
+	idx uint32
+}
+
+// readyHeap is a binary min-heap of readyEvents ordered by cycle. resolve
+// parks entries whose ready cycle is still in the future here instead of
+// setting their ready-mask bit; issue pops due entries each cycle and sets
+// their bits then. The issue scan therefore only ever visits issuable (or
+// FU-starved) entries — no per-cycle rescan of known-not-ready entries — and
+// nextEvent reads the earliest pending ready cycle straight from the root.
+type readyHeap []readyEvent
+
+func (h *readyHeap) push(e readyEvent) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].at <= q[i].at {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *readyHeap) pop() readyEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && q[r].at < q[l].at {
+			l = r
+		}
+		if q[i].at <= q[l].at {
+			break
+		}
+		q[i], q[l] = q[l], q[i]
+		i = l
+	}
+	*h = q
+	return top
+}
+
+// decEntry is the cached static decode of one instruction: everything the
+// front end re-derived per dynamic instance (source/destination registers,
+// functional-unit class, control kind) even though it is a pure function of
+// the instruction word. Program text is immutable, so the first dynamic
+// instance of a PC fills its entry and every later instance reads 8 bytes.
+type decEntry struct {
+	src   [2]isa.Reg
+	dest  isa.Reg
+	class isa.Class
+	ctrl  uint8
+	valid bool
+}
+
+// Control kinds, the exact cases handleControl dispatches on.
+const (
+	ctrlNone uint8 = iota
+	ctrlCond
+	ctrlBR
+	ctrlJSR
+	ctrlJMP
+	ctrlRET
+)
+
+// decodeInst fills a decode-cache entry from the instruction word.
+//
+//ctcp:coldpath
+func decodeInst(in isa.Inst) decEntry {
+	var e decEntry
+	e.valid = true
+	s1, s2 := in.Srcs()
+	e.src = [2]isa.Reg{s1, s2}
+	e.dest = in.Dest()
+	e.class = in.Op.Class()
+	switch {
+	case in.IsCond():
+		e.ctrl = ctrlCond
+	case in.Op == isa.BR:
+		e.ctrl = ctrlBR
+	case in.Op == isa.JSR:
+		e.ctrl = ctrlJSR
+	case in.Op == isa.JMP:
+		e.ctrl = ctrlJMP
+	case in.Op == isa.RET:
+		e.ctrl = ctrlRET
+	}
+	return e
+}
+
+// decTable maps instruction addresses to decode-cache entries through the
+// same dense (PC-base)/stride array pcTable uses, with the same doubling
+// growth and overflow-map fallback. It is derived state: never serialized,
+// refilled lazily after restore.
+type decTable struct {
+	base     uint64
+	tab      []decEntry
+	overflow map[uint64]*decEntry
+}
+
+// entryFor is the steady-state lookup: a single bounds-checked index.
+func (t *decTable) entryFor(pc uint64) *decEntry {
+	idx := pc / isa.PCStride
+	if t.tab == nil || idx < t.base || idx-t.base >= uint64(len(t.tab)) {
+		return t.grow(pc, idx)
+	}
+	return &t.tab[idx-t.base]
+}
+
+//ctcp:coldpath
+func (t *decTable) grow(pc, idx uint64) *decEntry {
+	if t.tab == nil {
+		t.base = idx
+		t.tab = make([]decEntry, 64)
+	}
+	if idx < t.base {
+		if front := t.base - idx; front+uint64(len(t.tab)) <= maxPCTableEntries {
+			nt := make([]decEntry, front+uint64(len(t.tab)))
+			copy(nt[front:], t.tab)
+			t.tab = nt
+			t.base = idx
+		} else {
+			return t.slow(pc)
+		}
+	}
+	off := idx - t.base
+	if off >= uint64(len(t.tab)) {
+		if off >= maxPCTableEntries {
+			return t.slow(pc)
+		}
+		n := uint64(len(t.tab))
+		for n <= off {
+			n *= 2
+		}
+		nt := make([]decEntry, n)
+		copy(nt, t.tab)
+		t.tab = nt
+	}
+	return &t.tab[off]
+}
+
+//ctcp:coldpath
+func (t *decTable) slow(pc uint64) *decEntry {
+	if t.overflow == nil {
+		t.overflow = make(map[uint64]*decEntry)
+	}
+	e := t.overflow[pc]
+	if e == nil {
+		e = new(decEntry)
 		t.overflow[pc] = e
 	}
 	return e

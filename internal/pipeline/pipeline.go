@@ -22,6 +22,12 @@ const unknown = int64(-1)
 type Pipeline struct {
 	cfg  Config
 	geom cluster.Geometry
+	// Flattened Clusters×Clusters tables of geom.Distance and geom.ForwardLat
+	// (row producer, column consumer). Distance's bounds guard keeps it above
+	// the inlining budget, and the scheduler consults both once or more per
+	// forwarded input — a flat indexed load beats the call.
+	distTab []uint8
+	fwdTab  []int64
 
 	bp     *bpred.Predictor
 	tc     *trace.Cache
@@ -61,6 +67,7 @@ type Pipeline struct {
 	// and unissued; rsLive counts non-hole entries.
 	rsEntries [][]infID
 	readyMask [][]uint64
+	readyHeap []readyHeap // per-cluster resolved-but-not-yet-ready entries
 	rsLive    []int
 	rsCount   [][]int   // per-cluster per-station occupancy
 	fuFree    [][]int64 // per-cluster per-FU next-free cycle
@@ -91,7 +98,8 @@ type Pipeline struct {
 	btbBubble       int64
 	groupSeq        uint64
 
-	pcHist pcTable // per-static-PC producer history (Table 3)
+	pcHist pcTable  // per-static-PC producer history (Table 3)
+	dec    decTable // per-static-PC decode cache (derived, never serialized)
 
 	lastRetireCycle int64
 
@@ -126,10 +134,6 @@ type scratch struct {
 	writeUsed     []int
 	clusterBudget []int
 	fetchBuf      []uint32
-
-	// retire is the RetireInfo under construction for the instruction
-	// currently retiring; it is rebuilt from scratch for each one.
-	retire core.RetireInfo
 }
 
 // New builds a pipeline reading committed instructions from stream. The
@@ -162,6 +166,15 @@ func New(stream emu.Stream, cfg Config) *Pipeline {
 	p.dispatchQ = make([]infQueue, g.Clusters)
 	p.rsEntries = make([][]infID, g.Clusters)
 	p.readyMask = make([][]uint64, g.Clusters)
+	p.readyHeap = make([]readyHeap, g.Clusters)
+	p.distTab = make([]uint8, g.Clusters*g.Clusters)
+	p.fwdTab = make([]int64, g.Clusters*g.Clusters)
+	for a := 0; a < g.Clusters; a++ {
+		for b := 0; b < g.Clusters; b++ {
+			p.distTab[a*g.Clusters+b] = uint8(g.Distance(a, b))
+			p.fwdTab[a*g.Clusters+b] = int64(g.ForwardLat(a, b))
+		}
+	}
 	p.rsLive = make([]int, g.Clusters)
 	p.rsCount = make([][]int, g.Clusters)
 	p.fuFree = make([][]int64, g.Clusters)
@@ -291,8 +304,9 @@ func (p *Pipeline) drained() bool {
 // resolved exactly as the next cycle would have resolved it, and
 // fully-retired slots are reclaimed into the store's free list (at a
 // drained boundary every graveyard slot is reclaimable, so the store is
-// equivalent to the restored pipeline's empty store: recycled slots are
-// cleared on allocation either way).
+// equivalent to the restored pipeline's empty store: residual slot contents
+// are don't-care either way, since every field is written before its first
+// read in a new life — see infStore.alloc).
 func (p *Pipeline) pauseDrain() {
 	p.clearRedirect()
 	p.reclaim()
@@ -338,14 +352,12 @@ func (p *Pipeline) nextEvent() int64 {
 			consider(st.doneAt[idx])
 		}
 	}
-	for c := range p.rsEntries {
-		entries := p.rsEntries[c]
-		for w, m := range p.readyMask[c] {
-			for m != 0 {
-				b := bits.TrailingZeros64(m)
-				m &= m - 1
-				consider(st.readyAt[uint32(entries[w<<6|b])])
-			}
+	// Mask-set entries are ready now (or FU-starved, with readyAt in the
+	// past), so the earliest future RS wakeup is the root of each cluster's
+	// ready heap — no mask scan needed.
+	for c := range p.readyHeap {
+		if h := p.readyHeap[c]; len(h) > 0 {
+			consider(h[0].at)
 		}
 	}
 	if p.fetchQ.len() > 0 {
@@ -497,8 +509,11 @@ func (p *Pipeline) newInflight(rec *emu.Committed, fromTC bool, group uint64, cl
 	st := &p.st
 	idx := st.alloc()
 	st.rec[idx] = *rec
+	// Whole-word flag store: recycled slots are not zeroed (see alloc), so
+	// this is the write that retires the previous life's bits.
+	flags := uint16(0)
 	if fromTC {
-		st.flags[idx] |= fFromTC
+		flags = fFromTC
 	}
 	st.group[idx] = group
 	st.cluster[idx] = int32(cl)
@@ -508,29 +523,38 @@ func (p *Pipeline) newInflight(rec *emu.Committed, fromTC bool, group uint64, cl
 	if p.cfg.Strategy.SteersAtIssue() {
 		st.cluster[idx] = -1
 	}
-	class := rec.Inst.Op.Class()
+	d := p.dec.entryFor(rec.PC)
+	if !d.valid {
+		*d = decodeInst(rec.Inst)
+	}
+	class := d.class
 	st.class[idx] = class
-	st.dest[idx] = rec.Inst.Dest()
+	st.dest[idx] = d.dest
+	st.src[idx] = d.src
+	st.ctrl[idx] = d.ctrl
 	if class.IsLoad() {
-		st.flags[idx] |= fIsLoad
+		flags |= fIsLoad
 	}
 	if class.IsStore() {
-		st.flags[idx] |= fIsStore
+		flags |= fIsStore
 	}
+	st.flags[idx] = flags
 	return idx
 }
 
 // handleControl performs fetch-time prediction bookkeeping for a just-
 // consumed control instruction and reports whether the fetch group must stop
-// (misprediction or unpredictable target).
+// (misprediction or unpredictable target). The control kind comes from the
+// decode cache (stamped by newInflight) instead of re-classifying the
+// instruction word per dynamic instance.
 func (p *Pipeline) handleControl(idx uint32, fromTC bool) bool {
-	rec := &p.st.rec[idx]
-	in := rec.Inst
-	if !in.IsControl() {
+	ctrl := p.st.ctrl[idx]
+	if ctrl == ctrlNone {
 		return false
 	}
-	switch {
-	case in.IsCond():
+	rec := &p.st.rec[idx]
+	switch ctrl {
+	case ctrlCond:
 		p.S.CondBranches++
 		_, correct := p.bp.PredictAndTrainCond(rec.PC, rec.Taken)
 		if !correct {
@@ -547,7 +571,7 @@ func (p *Pipeline) handleControl(idx uint32, fromTC bool) bool {
 			}
 			p.bp.BTBInsert(rec.PC, rec.NextPC)
 		}
-	case in.Op == isa.BR:
+	case ctrlBR:
 		if !fromTC {
 			if _, hit := p.bp.BTBLookup(rec.PC); !hit {
 				p.S.BTBBubbles++
@@ -555,10 +579,10 @@ func (p *Pipeline) handleControl(idx uint32, fromTC bool) bool {
 			}
 			p.bp.BTBInsert(rec.PC, rec.NextPC)
 		}
-	case in.Op == isa.JSR || in.Op == isa.JMP:
+	case ctrlJSR, ctrlJMP:
 		target, hit := p.bp.BTBLookup(rec.PC)
 		p.bp.BTBInsert(rec.PC, rec.NextPC)
-		if in.Op == isa.JSR {
+		if ctrl == ctrlJSR {
 			p.bp.PushReturn(rec.PC + isa.PCStride)
 		}
 		if !hit || target != rec.NextPC {
@@ -567,7 +591,7 @@ func (p *Pipeline) handleControl(idx uint32, fromTC bool) bool {
 			p.pendingRedirect = p.st.id(idx)
 			return true
 		}
-	case in.Op == isa.RET:
+	case ctrlRET:
 		target, ok := p.bp.PredictReturn()
 		if !ok || target != rec.NextPC {
 			p.S.IndirectMiss++
@@ -618,9 +642,7 @@ func (p *Pipeline) rename() bool {
 			p.S.LoadQFullStalls++
 			break
 		}
-		s1, s2 := st.rec[idx].Inst.Srcs()
-		st.src[idx] = [2]isa.Reg{s1, s2}
-		for k, r := range st.src[idx] {
+		for k, r := range st.src[idx] { // src cached at newInflight (decode cache)
 			if r == isa.NoReg {
 				continue
 			}
@@ -882,7 +904,7 @@ func (p *Pipeline) effFwd(prod, cons uint32) int64 {
 	if p.cfg.ZeroInterTrace && !same {
 		return 0
 	}
-	return int64(p.geom.ForwardLat(int(p.st.cluster[prod]), int(p.st.cluster[cons])))
+	return p.fwdTab[int(p.st.cluster[prod])*p.geom.Clusters+int(p.st.cluster[cons])]
 }
 
 // resolve computes an RS entry's final ready cycle, critical source, and
@@ -945,9 +967,17 @@ func (p *Pipeline) resolve(idx uint32) {
 	}
 	st.critSrc[idx] = uint8(crit)
 	st.readyAt[idx] = ready
-	st.flags[idx] |= fResolved
-	pos := int(st.rsSlot[idx])
-	p.readyMask[st.cluster[idx]][pos>>6] |= 1 << uint(pos&63)
+	if ready <= p.now {
+		st.flags[idx] |= fResolved | fReady
+		pos := int(st.rsSlot[idx])
+		p.readyMask[st.cluster[idx]][pos>>6] |= 1 << uint(pos&63)
+	} else {
+		// Not issuable yet: park in the cluster's ready heap instead of
+		// mask-setting, so the issue scan never revisits a known-not-ready
+		// entry. issue pops it (and sets the bit) once its cycle arrives.
+		st.flags[idx] |= fResolved
+		p.readyHeap[st.cluster[idx]].push(readyEvent{at: ready, idx: idx})
+	}
 }
 
 // wakeWaiters delivers a just-issued producer's resultAt to every RS entry
@@ -1014,6 +1044,16 @@ func (p *Pipeline) issue() bool {
 	for c := 0; c < p.geom.Clusters; c++ {
 		entries := p.rsEntries[c]
 		mask := p.readyMask[c]
+		// Promote heap entries whose ready cycle has arrived: set their mask
+		// bits so the age-ordered scan below sees them. Bits and heap pops
+		// commute — scan order is mask position order either way.
+		h := &p.readyHeap[c]
+		for len(*h) > 0 && (*h)[0].at <= p.now {
+			idx := (*h).pop().idx
+			st.flags[idx] |= fReady
+			pos := int(st.rsSlot[idx])
+			mask[pos>>6] |= 1 << uint(pos&63)
+		}
 		// Classes that already failed to find a free unit this cycle: FUs
 		// only get busier within a cycle (issuing books one, nothing frees
 		// one until the cycle advances), so a miss stays a miss and younger
@@ -1026,10 +1066,9 @@ func (p *Pipeline) issue() bool {
 				m &= m - 1
 				// Mask membership implies liveness; the generation check
 				// stays on cross-record references, not ownership reads.
+				// Every masked entry is ready (readyAt <= now): unready
+				// entries wait in the heap, never in the mask.
 				idx := uint32(entries[w<<6|b])
-				if st.readyAt[idx] > p.now {
-					continue
-				}
 				class := st.class[idx]
 				if noFU&(1<<class) != 0 {
 					continue
@@ -1069,7 +1108,7 @@ func (p *Pipeline) issue() bool {
 				mask[i] = 0
 			}
 			for pos, id := range keep {
-				if st.flags[uint32(id)]&fResolved != 0 {
+				if st.flags[uint32(id)]&fReady != 0 {
 					mask[pos>>6] |= 1 << uint(pos&63)
 				}
 			}
@@ -1108,7 +1147,7 @@ func (p *Pipeline) doIssue(idx uint32, c int, fu cluster.FUKind) {
 			if st.resultAt[si] > barrier {
 				barrier = st.resultAt[si]
 			}
-			if !haveFwd && overlaps(st.rec[si], st.rec[idx]) {
+			if !haveFwd && overlaps(&st.rec[si], &st.rec[idx]) {
 				fwdStore, haveFwd = si, true
 			}
 			sid = st.prevStore[si]
@@ -1133,7 +1172,7 @@ func (p *Pipeline) doIssue(idx uint32, c int, fu cluster.FUKind) {
 	p.wakeWaiters(idx)
 }
 
-func overlaps(store, load emu.Committed) bool {
+func overlaps(store, load *emu.Committed) bool {
 	sEnd := store.EA + uint64(store.Size)
 	lEnd := load.EA + uint64(load.Size)
 	return store.EA < lEnd && load.EA < sEnd
@@ -1159,7 +1198,7 @@ func (p *Pipeline) recordInputStats(idx uint32) {
 	if critFwd {
 		p.S.CritForwarded++
 		pi := st.index(st.critProd[idx])
-		dist := p.geom.Distance(int(st.cluster[pi]), int(st.cluster[idx]))
+		dist := int(p.distTab[int(st.cluster[pi])*p.geom.Clusters+int(st.cluster[idx])])
 		p.S.CritDistSum += uint64(dist)
 		if dist == 0 {
 			p.S.CritIntraCluster++
@@ -1179,14 +1218,15 @@ func (p *Pipeline) recordInputStats(idx uint32) {
 	}
 	// Producer repeatability (Table 3): all forwarded inputs...
 	var hist *pcStats
+	prod := st.prod[idx]
 	for k := 0; k < 2; k++ {
-		pid := st.prod[idx][k]
+		pid := prod[k]
 		if pid == noID || st.src[idx][k] == isa.NoReg {
 			continue
 		}
 		pi := st.index(pid)
 		p.S.FwdInputs++
-		d := p.geom.Distance(int(st.cluster[pi]), int(st.cluster[idx]))
+		d := int(p.distTab[int(st.cluster[pi])*p.geom.Clusters+int(st.cluster[idx])])
 		p.S.FwdDistSum += uint64(d)
 		if d == 0 {
 			p.S.FwdIntraCluster++
@@ -1282,9 +1322,12 @@ func (p *Pipeline) retire() bool {
 		if st.flags[idx]&fFromTC != 0 {
 			p.S.RetiredFromTC++
 		}
-		info := &p.scr.retire
+		// Compose the ~200-byte RetireInfo directly in the fill unit's
+		// pending slot (no scratch-then-copy). The slot stays readable after
+		// CommitRetire even when it completes a trace, so the hook sees it.
+		info := p.fill.RetireSlot()
 		p.retireInfo(idx, info)
-		p.fill.Retire(info)
+		p.fill.CommitRetire()
 		if p.cfg.RetireHook != nil {
 			p.cfg.RetireHook(*info)
 		}
@@ -1320,14 +1363,16 @@ func (p *Pipeline) retire() bool {
 // written in place instead of returned by value.
 func (p *Pipeline) retireInfo(idx uint32, info *core.RetireInfo) {
 	st := &p.st
-	*info = core.RetireInfo{
-		Rec:        st.rec[idx],
-		FromTC:     st.flags[idx]&fFromTC != 0,
-		Profile:    st.profile[idx],
-		Cluster:    int(st.cluster[idx]),
-		FetchGroup: st.group[idx],
-		CritSrc:    core.CritSrc(st.critSrc[idx]),
-	}
+	// Field-by-field stores: *info may be a recycled pending slot holding a
+	// stale record, so every field is written, but without the composite-
+	// literal temporary (and its second ~200-byte copy) a struct assignment
+	// compiles to.
+	info.Rec = st.rec[idx]
+	info.FromTC = st.flags[idx]&fFromTC != 0
+	info.Profile = st.profile[idx]
+	info.Cluster = int(st.cluster[idx])
+	info.FetchGroup = st.group[idx]
+	info.CritSrc = core.CritSrc(st.critSrc[idx])
 	if st.flags[idx]&fCritFwd != 0 && st.critProd[idx] != noID {
 		cp := st.index(st.critProd[idx])
 		info.CritForwarded = true
@@ -1336,6 +1381,13 @@ func (p *Pipeline) retireInfo(idx uint32, info *core.RetireInfo) {
 		info.CritProducerCluster = int(st.cluster[cp])
 		info.CritInterTrace = st.group[cp] != st.group[idx]
 		info.CritProducerProfile = st.profile[cp]
+	} else {
+		info.CritForwarded = false
+		info.CritProducerPC = 0
+		info.CritProducerSeq = 0
+		info.CritProducerCluster = 0
+		info.CritInterTrace = false
+		info.CritProducerProfile = trace.Profile{}
 	}
 }
 

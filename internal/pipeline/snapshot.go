@@ -67,6 +67,11 @@ func (p *Pipeline) snapReady() string {
 			}
 		}
 	}
+	for c := range p.readyHeap {
+		if len(p.readyHeap[c]) != 0 {
+			return "a ready heap holds pending entries"
+		}
+	}
 	for _, n := range p.loadWaitHead {
 		if n != 0 {
 			return "a load is waiting on the store watermark"
@@ -101,7 +106,9 @@ func (p *Pipeline) Snapshot(w *snap.Writer) {
 	w.Int(p.cfg.Geom.Width)
 	w.Int(p.cfg.FetchWidth)
 	w.Int(p.cfg.ROBSize)
-	_ = p.geom // copy of cfg.Geom made by New
+	_ = p.geom    // copy of cfg.Geom made by New
+	_ = p.distTab // pure function of geom, rebuilt by New
+	_ = p.fwdTab  // pure function of geom, rebuilt by New
 
 	w.I64(p.now)
 	w.I64(p.nextFetch)
@@ -128,9 +135,10 @@ func (p *Pipeline) Snapshot(w *snap.Writer) {
 	// per-cycle scratch that a restored pipeline rebuilds empty. The inflight
 	// store holds no live slot at a drained boundary (snapReady checks every
 	// structure that could reference one), so it is equivalent to the fresh
-	// store a restored pipeline starts with: recycled slots are cleared on
-	// allocation either way, and generations are never observable across the
-	// boundary. The disambiguation ring's contents behind the watermark are
+	// store a restored pipeline starts with: residual slot contents are
+	// don't-care either way (every field is written before its first read in
+	// a new life — see infStore.alloc), and generations are never observable
+	// across the boundary. The disambiguation ring's contents behind the watermark are
 	// don't-care by construction (snapReady asserts the watermark has caught
 	// up to the sequence counter, and both counters only ever appear in
 	// relative comparisons, so a restored pipeline restarting them at 1
@@ -145,6 +153,12 @@ func (p *Pipeline) Snapshot(w *snap.Writer) {
 	// lazily after restore).
 	_ = p.streamInto
 	_ = p.streamIntoKnown
+	// The decode cache is a pure function of the immutable program text,
+	// refilled lazily after restore.
+	_ = p.dec
+	// The ready heaps only hold entries while reservation stations do;
+	// snapReady asserts they are empty at every snapshot boundary.
+	_ = p.readyHeap
 
 	if cs, ok := p.stream.(snap.Checkpointable); ok {
 		cs.Snapshot(w)

@@ -55,8 +55,13 @@ const (
 	fMispredict
 	fCritFwd
 	// fResolved marks an RS entry whose dependencies are all known: its
-	// readyAt/critSrc fields are final and its ready-mask bit is set.
+	// readyAt/critSrc fields are final. If readyAt is still in the future
+	// the entry waits in its cluster's ready heap; otherwise it is mask-set.
 	fResolved
+	// fReady marks a resolved entry whose ready-mask bit is set (readyAt has
+	// arrived): the issue scan sees it. fResolved without fReady means the
+	// entry is parked in the ready heap.
+	fReady
 )
 
 // infStore holds every in-flight instruction's state in parallel slices
@@ -87,6 +92,7 @@ type infStore struct {
 	rec           []emu.Committed
 	profile       []trace.Profile
 	group         []uint64
+	ctrl          []uint8 // cached decode-cache control kind; read at fetch
 	station       []int32
 	renameReady   []int64
 	dispatchReady []int64
@@ -132,9 +138,39 @@ func (s *infStore) stale(id infID) {
 		uint64(id), idx, uint32(id>>32), gen)})
 }
 
-// alloc hands out a cleared slot. Steady state pops the free list; the store
-// only grows while the in-flight window ramps up (bounded by ROB size plus
+// alloc hands out a slot. Steady state pops the free list; the store only
+// grows while the in-flight window ramps up (bounded by ROB size plus
 // graveyard slack), so the grow path is cold.
+//
+// Recycled slots are NOT zeroed: every field is either fully written before
+// its first read in the new life, or provably zero at release time. The
+// discipline, field by field:
+//
+//   - rec, class, dest, src, ctrl, cluster, group, profile, resultAt,
+//     doneAt, flags: fully assigned in newInflight (flags as one whole-word
+//     store, never |= on a recycled slot).
+//   - renameReady: written by fetch for every consumed slot before the id
+//     enters fetchQ.
+//   - rfReady, dispatchReady, prevStore: fully assigned at rename.
+//   - barrier: assigned at rename for loads and stores, and only ever read
+//     under fIsLoad/fIsStore.
+//   - station, rsSlot: assigned at insertRS before any read.
+//   - waitCount: assigned (not accumulated) in linkDeps.
+//   - readyAt, critSrc: assigned in resolve, which every instruction passes
+//     through before its ready-mask bit (the only gate to reading them) is
+//     set.
+//   - critProd: assigned in resolve when fCritFwd is set, read only under
+//     fCritFwd, and severed at retire.
+//   - prod: per-source entries are written at rename only for in-flight
+//     producers, but retire zeroes the whole pair, so a recycled slot always
+//     starts from [noID, noID].
+//   - waiterHead/waiterNext/loadNext: self-cleaning. This model fetches the
+//     committed stream only (no wrong-path work is ever discarded), so every
+//     instruction issues before it retires: wakeWaiters drains and zeroes the
+//     producer's waiter list at issue, and the store watermark drains and
+//     zeroes every registered load link. A slot can only be released retired,
+//     hence with all three at zero.
+//   - freeAfter: assigned at retire before reclaim reads it.
 func (s *infStore) alloc() uint32 {
 	n := len(s.free)
 	if n == 0 {
@@ -142,39 +178,7 @@ func (s *infStore) alloc() uint32 {
 	}
 	idx := s.free[n-1]
 	s.free = s.free[:n-1]
-	s.clear(idx)
 	return idx
-}
-
-// clear resets a recycled slot's per-instruction state.
-func (s *infStore) clear(idx uint32) {
-	s.flags[idx] = 0
-	s.class[idx] = 0
-	s.cluster[idx] = 0
-	s.resultAt[idx] = 0
-	s.doneAt[idx] = 0
-	s.readyAt[idx] = 0
-	s.waitCount[idx] = 0
-	s.rsSlot[idx] = 0
-	s.waiterHead[idx] = 0
-	s.waiterNext[idx*2] = 0
-	s.waiterNext[idx*2+1] = 0
-	s.loadNext[idx] = 0
-	s.barrier[idx] = 0
-	s.rec[idx] = emu.Committed{}
-	s.profile[idx] = trace.Profile{}
-	s.group[idx] = 0
-	s.station[idx] = 0
-	s.renameReady[idx] = 0
-	s.dispatchReady[idx] = 0
-	s.rfReady[idx] = 0
-	s.src[idx] = [2]isa.Reg{}
-	s.dest[idx] = isa.NoReg
-	s.prod[idx] = [2]infID{}
-	s.prevStore[idx] = noID
-	s.critProd[idx] = noID
-	s.critSrc[idx] = 0
-	s.freeAfter[idx] = 0
 }
 
 // grow appends one zeroed slot to every parallel slice while the window
@@ -199,6 +203,7 @@ func (s *infStore) grow() uint32 {
 	s.rec = append(s.rec, emu.Committed{})
 	s.profile = append(s.profile, trace.Profile{})
 	s.group = append(s.group, 0)
+	s.ctrl = append(s.ctrl, 0)
 	s.station = append(s.station, 0)
 	s.renameReady = append(s.renameReady, 0)
 	s.dispatchReady = append(s.dispatchReady, 0)

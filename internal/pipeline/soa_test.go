@@ -156,7 +156,9 @@ func readinessRef(p *Pipeline, idx uint32) int64 {
 // cross-checks the incremental wakeup machinery against the per-entry
 // recompute on the recorded scheduling trace:
 //
-//	(a) a live RS entry's ready-mask bit is set iff the entry is resolved,
+//	(a) a live RS entry's ready-mask bit is set iff the entry is resolved
+//	    AND its ready cycle has arrived (unready entries park in the ready
+//	    heap with no mask bit, marked fResolved without fReady),
 //	(b) the moment an entry resolves, its readyAt equals the reference
 //	    recomputation from its producers' resultAt and the RF time,
 //	(c) nothing issues before the cycle it was declared ready for.
@@ -201,9 +203,17 @@ func TestWakeupMatchesReadinessRecompute(t *testing.T) {
 				idx := uint32(id)
 				bit := p.readyMask[c][pos>>6]&(1<<uint(pos&63)) != 0
 				resolved := st.flags[idx]&fResolved != 0
-				if bit != resolved {
-					t.Fatalf("cycle %d: cluster %d slot %d mask bit %v but resolved %v",
-						cyc, c, idx, bit, resolved)
+				ready := st.flags[idx]&fReady != 0
+				if bit != ready {
+					t.Fatalf("cycle %d: cluster %d slot %d mask bit %v but fReady %v",
+						cyc, c, idx, bit, ready)
+				}
+				if ready && !resolved {
+					t.Fatalf("cycle %d: cluster %d slot %d fReady without fResolved", cyc, c, idx)
+				}
+				if !bit && resolved && st.readyAt[idx] <= cyc {
+					t.Fatalf("cycle %d: cluster %d slot %d due (readyAt %d) but not mask-set",
+						cyc, c, idx, st.readyAt[idx])
 				}
 				if !resolved {
 					continue

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ctcp/internal/emu"
 	"ctcp/internal/isa"
@@ -66,6 +67,34 @@ type Trace struct {
 	EndsIndirect bool
 	// Fetches counts how many times the line was supplied by the cache.
 	Fetches uint64
+
+	// condBits caches the slot positions (logical order) holding conditional
+	// branches — the slots a Lookup must check against the predictor. Inst
+	// never changes after construction, so the mask is derived once on first
+	// use (condKnown) and is deliberately not serialized: a restored line
+	// recomputes it. Only maintained for lines of <= 64 slots; longer
+	// hypothetical lines scan directly.
+	condBits  uint64
+	condKnown bool
+}
+
+// condMask returns the conditional-branch slot mask, deriving it on first
+// use. Lines longer than 64 slots report ok=false and must scan.
+func (t *Trace) condMask() (mask uint64, ok bool) {
+	if t.condKnown {
+		return t.condBits, true
+	}
+	if len(t.Slots) > 64 {
+		return 0, false
+	}
+	for i := range t.Slots {
+		if t.Slots[i].Inst.IsCond() {
+			mask |= 1 << uint(i)
+		}
+	}
+	t.condBits = mask
+	t.condKnown = true
+	return mask, true
 }
 
 // Len returns the number of instructions in the trace.
@@ -194,10 +223,19 @@ func (c *Cache) Lookup(pc uint64, pred func(branchPC uint64) bool) *Trace {
 			continue
 		}
 		match := true
-		for i := range t.Slots {
-			if s := &t.Slots[i]; s.Inst.IsCond() && pred(s.PC) != s.Taken {
-				match = false
-				break
+		if m, ok := t.condMask(); ok {
+			for ; m != 0; m &= m - 1 {
+				if s := &t.Slots[bits.TrailingZeros64(m)]; pred(s.PC) != s.Taken {
+					match = false
+					break
+				}
+			}
+		} else {
+			for i := range t.Slots {
+				if s := &t.Slots[i]; s.Inst.IsCond() && pred(s.PC) != s.Taken {
+					match = false
+					break
+				}
 			}
 		}
 		if match {
@@ -302,7 +340,11 @@ func (b *Builder) Pending() int { return len(b.slots) }
 // Add appends one retired instruction. When the instruction terminates the
 // trace (capacity, block limit, indirect control, or HALT) the completed
 // trace is returned with slots in logical order; otherwise Add returns nil.
-func (b *Builder) Add(rec emu.Committed) *Trace {
+func (b *Builder) Add(rec emu.Committed) *Trace { return b.AddRec(&rec) }
+
+// AddRec is Add without the by-value record copy; the hot retire path calls
+// it once per retired instruction. The record is only read.
+func (b *Builder) AddRec(rec *emu.Committed) *Trace {
 	if len(b.slots) == 0 {
 		if n := len(b.free); n > 0 {
 			b.reuse = b.free[n-1]
@@ -319,16 +361,18 @@ func (b *Builder) Add(rec emu.Committed) *Trace {
 		b.blocks = 1
 		b.indirect = false
 	}
+	// One opTable lookup covers the conditional/control/indirect tests below.
+	opInfo := rec.Inst.Op.Info()
 	b.slots = append(b.slots, Slot{
 		PC:        rec.PC,
 		Inst:      rec.Inst,
-		Taken:     rec.Inst.IsCond() && rec.Taken,
+		Taken:     opInfo.Conditional && rec.Taken,
 		SlotIndex: len(b.slots),
 	})
 	terminate := false
-	if rec.Inst.IsControl() {
+	if opInfo.Class.IsControl() {
 		switch {
-		case rec.Inst.IsIndirect():
+		case opInfo.Class == isa.ClassJump:
 			b.indirect = true
 			terminate = true
 		case rec.Taken && rec.NextPC <= rec.PC:
